@@ -1,0 +1,19 @@
+"""Text-table rendering shared by the benchmark suite."""
+
+from __future__ import annotations
+
+
+def format_table(title: str, headers: list[str], rows: list[list], width: int = 18) -> str:
+    """Render a fixed-width text table."""
+    lines = [f"\n=== {title} ==="]
+    lines.append(" | ".join(f"{h:<{width}}" for h in headers))
+    lines.append("-+-".join("-" * width for _ in headers))
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(f"{value:<{width}.3f}")
+            else:
+                cells.append(f"{str(value):<{width}}")
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)

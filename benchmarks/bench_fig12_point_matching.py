@@ -1,0 +1,83 @@
+"""E13 / Figure 12 — point matching of actual vs predicted trajectories.
+
+The paper's detail view shows a significantly mismatched actual/predicted
+pair — an outlier caused by "a short-term change of active runways for
+both takeoff and landing" — alongside a histogram of the matched-point
+proportions over the whole prediction set. We regenerate that: predicted
+trajectories are the flight plans flown nominally; actuals are simulated
+flights, one of which flies under a runway change.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasources import AIRPORTS, FlightConfig, FlightPlan, FlightSimulator, make_route
+from repro.datasources.registry import generate_aircraft_registry
+from repro.datasources.weather import WeatherField
+from repro.va import match_many
+
+from _tables import format_table
+
+N_FLIGHTS = 18
+OUTLIER_ID = "PM0005"   # the flight flown under the runway change
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    weather = WeatherField(seed=81)
+    aircraft = generate_aircraft_registry(8, seed=82)
+    normal = FlightSimulator(weather, FlightConfig(sample_period_s=16.0), seed=83)
+    runway_change = FlightSimulator(
+        weather, FlightConfig(sample_period_s=16.0, runway_offset_m=9000.0), seed=83
+    )
+    out = []
+    for i in range(N_FLIGHTS):
+        dep, arr = AIRPORTS["LEBL"], AIRPORTS["LEMD"]
+        ac = aircraft[i % len(aircraft)]
+        plan = FlightPlan(
+            flight_id=f"PM{i:04d}",
+            callsign=f"PM{i:04d}",
+            departure=dep,
+            arrival=arr,
+            waypoints=make_route(dep, arr, variant=0, cruise_fl=ac.cruise_fl, seed=7),
+            cruise_fl=ac.cruise_fl,
+            scheduled_departure=i * 1800.0,
+            route_variant=0,
+        )
+        simulator = runway_change if plan.flight_id == OUTLIER_ID else normal
+        actual = simulator.fly(plan, ac, seed=i).trajectory
+        predicted = plan.planned_trajectory(sample_period_s=16.0, ground_speed_ms=ac.cruise_speed_ms * 0.82)
+        out.append((actual, predicted))
+    return out
+
+
+def test_fig12_match_distribution(pairs, console, benchmark):
+    distribution = match_many(pairs, tolerance_m=3000.0)
+    histogram = distribution.histogram(10)
+    rows = [[f"{i / 10:.1f}-{(i + 1) / 10:.1f}", count] for i, count in enumerate(histogram)]
+    with console():
+        print(format_table(
+            "Figure 12: histogram of matched-point proportions (actual vs predicted)",
+            ["proportion bin", "flights"],
+            rows,
+        ))
+        print(f"mean matched proportion: {distribution.mean_proportion():.2f}")
+    assert sum(histogram) == N_FLIGHTS
+    assert distribution.mean_proportion() > 0.5
+    benchmark(lambda: match_many(pairs[:4], tolerance_m=3000.0).mean_proportion())
+
+
+def test_fig12_runway_change_outlier(pairs, console, benchmark):
+    """The runway-change flight must surface as the mismatched outlier."""
+    distribution = match_many(pairs, tolerance_m=3000.0)
+    by_flight = {r.entity_id: r for r in distribution.results}
+    outlier = by_flight[OUTLIER_ID]
+    others = [r.matched_proportion for fid, r in by_flight.items() if fid != OUTLIER_ID]
+    with console():
+        print(f"\noutlier {OUTLIER_ID}: matched={outlier.matched_proportion:.2f}, "
+              f"max deviation={outlier.max_distance_m:.0f} m; "
+              f"other flights matched mean={sum(others) / len(others):.2f}")
+    assert outlier.matched_proportion < min(others)
+    assert outlier.max_distance_m > 5000.0   # the displaced takeoff/landing legs
+    benchmark(lambda: by_flight[OUTLIER_ID].matched_proportion)

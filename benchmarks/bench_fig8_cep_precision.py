@@ -1,0 +1,102 @@
+"""E10 / Figure 8 — event-forecasting precision vs threshold and Markov order.
+
+Paper setup: the NorthToSouthReversal pattern
+R = CIH_N (CIH_N + CIH_E)* CIH_S applied to a single vessel's annotated
+turn-event stream; precision (fraction of forecasts whose interval
+contained the detection) plotted against the confidence threshold for
+1st- and 2nd-order input models. Expected shape: precision rises with
+the threshold, and "increasing the assumed order does indeed positively
+affect precision".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cep import (
+    TURN_ALPHABET,
+    north_to_south_reversal,
+    points_by_order,
+    precision_sweep,
+    turn_event_stream,
+)
+from repro.datasources import fishing_vessel_stream
+from repro.synopses import SynopsesConfig, SynopsesGenerator
+
+from _tables import format_table
+
+THRESHOLDS = (0.2, 0.4, 0.6, 0.8)
+ORDERS = (1, 2)
+
+
+def vessel_turn_events(seed: int, hours: float):
+    """Turn events of one simulated fishing vessel's synopses."""
+    fixes = fishing_vessel_stream(seed=seed, duration_s=hours * 3600.0, report_period_s=20.0)
+    gen = SynopsesGenerator(SynopsesConfig(min_reemit_s=30.0))
+    points = list(gen.process_stream(fixes)) + gen.flush()
+    return list(turn_event_stream(points))
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    training = vessel_turn_events(seed=9, hours=48.0)
+    test = vessel_turn_events(seed=21, hours=48.0)
+    points = precision_sweep(
+        north_to_south_reversal(),
+        TURN_ALPHABET,
+        training,
+        test,
+        thresholds=THRESHOLDS,
+        orders=ORDERS,
+        horizon=40,
+    )
+    return points, len(test)
+
+
+def test_fig8_precision_curves(sweep, console, benchmark):
+    points, n_events = sweep
+    curves = points_by_order(points)
+    rows = []
+    for order in ORDERS:
+        for p in curves[order]:
+            rows.append([
+                f"m={p.order}",
+                f"{p.threshold:.1f}",
+                f"{p.precision * 100:.1f} %",
+                p.scored_forecasts,
+                f"{p.mean_interval_length:.1f}",
+            ])
+    with console():
+        print(format_table(
+            f"Figure 8: forecasting precision, NorthToSouthReversal over {n_events} turn events",
+            ["order", "threshold", "precision", "forecasts", "interval len"],
+            rows,
+            width=14,
+        ))
+    for order in ORDERS:
+        for p in curves[order]:
+            assert p.scored_forecasts > 0
+    benchmark(lambda: points_by_order(points))
+
+
+def test_fig8_precision_rises_with_threshold(sweep, console, benchmark):
+    points, _ = sweep
+    curves = points_by_order(points)
+    for order in ORDERS:
+        series = [p.precision for p in curves[order]]
+        with console():
+            print(f"\norder {order}: precision {['%.2f' % s for s in series]} over thresholds {list(THRESHOLDS)}")
+        assert series[-1] >= series[0]   # high-confidence forecasts are more precise
+    benchmark(lambda: [p.precision for p in curves[1]])
+
+
+def test_fig8_higher_order_helps(sweep, console, benchmark):
+    """The paper's headline: 2nd-order >= 1st-order precision (on average)."""
+    points, _ = sweep
+    curves = points_by_order(points)
+    mean_1 = sum(p.precision for p in curves[1]) / len(curves[1])
+    mean_2 = sum(p.precision for p in curves[2]) / len(curves[2])
+    with console():
+        print(f"\nmean precision: order1={mean_1:.3f}, order2={mean_2:.3f}")
+    assert mean_2 >= mean_1 - 0.05   # order 2 at least matches order 1
+    benchmark(lambda: sum(p.precision for p in curves[2]))

@@ -1,0 +1,90 @@
+"""E15 / Section 4.2.1 — in-situ processing at stream rate.
+
+The low-level event detector must enrich the raw stream with per-
+trajectory statistics and area entry/exit events with low latency,
+"as downwards in-stream as possible". We measure the per-fix cost of
+each in-situ stage and the end-to-end in-situ throughput.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasources import AISConfig, AISSimulator, generate_regions
+from repro.insitu import (
+    AreaEventDetector,
+    QualityReport,
+    RegionIndex,
+    clean_stream,
+    stats_for_fixes,
+)
+
+from _tables import format_table
+
+
+@pytest.fixture(scope="module")
+def workload():
+    sim = AISSimulator(
+        n_vessels=30, seed=43,
+        config=AISConfig(report_period_s=20.0, outlier_probability=0.01),
+    )
+    fixes = list(sim.fixes(0.0, 2 * 3600.0))
+    regions = generate_regions(1500, seed=44)
+    return fixes, regions
+
+
+def test_insitu_throughput(workload, console, benchmark):
+    import time
+
+    fixes, regions = workload
+    report = QualityReport()
+    t0 = time.perf_counter()
+    cleaned = list(clean_stream(fixes, report=report))
+    t_clean = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    stats_for_fixes(cleaned)
+    t_stats = time.perf_counter() - t0
+    detector = AreaEventDetector(RegionIndex(regions, cell_deg=0.5))
+    t0 = time.perf_counter()
+    n_events = sum(len(detector.process(f)) for f in cleaned)
+    t_area = time.perf_counter() - t0
+    rows = [
+        ["online cleaning", f"{len(fixes) / t_clean:,.0f}", report.dropped],
+        ["running statistics", f"{len(cleaned) / t_stats:,.0f}", "-"],
+        ["area entry/exit", f"{len(cleaned) / t_area:,.0f}", n_events],
+    ]
+    with console():
+        print(format_table(
+            "In-situ processing throughput (fixes/s) over a 30-vessel stream",
+            ["stage", "fixes/s", "outputs"],
+            rows,
+            width=20,
+        ))
+    # Real-time requirement: each stage far exceeds the stream's arrival rate.
+    assert len(fixes) / t_clean > 50_000
+    assert len(cleaned) / t_area > 5_000
+    benchmark(lambda: sum(1 for _ in clean_stream(fixes[:2000])))
+
+
+def test_area_events_paired(workload, console, benchmark):
+    """Every exit must have a prior entry for the same (entity, region)."""
+    fixes, regions = workload
+    detector = AreaEventDetector(RegionIndex(regions, cell_deg=0.5))
+    open_entries: set[tuple[str, str]] = set()
+    violations = 0
+    entries = exits = 0
+    for fix in fixes:
+        for event in detector.process(fix):
+            key = (event.entity_id, event.region_id)
+            if event.kind == "entry":
+                entries += 1
+                open_entries.add(key)
+            else:
+                exits += 1
+                if key not in open_entries:
+                    violations += 1
+                open_entries.discard(key)
+    with console():
+        print(f"\narea events: {entries} entries, {exits} exits, pairing violations: {violations}")
+    assert violations == 0
+    benchmark(lambda: len(open_entries))

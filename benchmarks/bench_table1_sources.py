@@ -1,0 +1,61 @@
+"""E1 / Table 1 — data-source inventory: paper-reported vs measured rates.
+
+Runs each synthetic source surrogate for a simulated window and reports
+the same volume/velocity quantities the paper's Table 1 lists.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasources import (
+    MEASUREMENT_RUNNERS,
+    SPEC_BY_ID,
+    measure_ais,
+    measure_contextual,
+)
+
+from _tables import format_table
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    return {source_id: runner() for source_id, runner in MEASUREMENT_RUNNERS.items()}
+
+
+def test_table1_rates(measurements, console, benchmark):
+    rows = []
+    for source_id, m in measurements.items():
+        spec = SPEC_BY_ID[source_id]
+        rows.append(
+            [
+                source_id,
+                spec.paper_velocity,
+                f"{m.messages_per_min:.1f} msg/min",
+                f"{m.bytes_per_min / 1024.0:.1f} KB/min",
+            ]
+        )
+    contextual = measure_contextual()
+    rows.append(["port_registers", SPEC_BY_ID["port_registers"].paper_velocity, f"{contextual['ports']} ports", "static"])
+    rows.append(["vessel_registers", SPEC_BY_ID["vessel_registers"].paper_velocity, f"{contextual['vessels']} ships", "static"])
+    rows.append(["geographical", SPEC_BY_ID["geographical"].paper_velocity, f"{contextual['regions']} features", "static"])
+    with console():
+        print(format_table(
+            "Table 1: data sources (paper velocity vs measured surrogate)",
+            ["source", "paper", "measured rate", "measured volume"],
+            rows,
+            width=26,
+        ))
+    # Timed hot path: the AIS stream surrogate at the archive-small scale.
+    benchmark(lambda: measure_ais(n_vessels=13, minutes=2.0, report_period_s=10.0))
+
+
+def test_table1_scaling_shape(measurements, console, benchmark):
+    """The three AIS rows must reproduce the paper's ordering: 76 << 1830 << 3700."""
+    small = measurements["ais_archive_small"].messages_per_min
+    large = measurements["ais_archive_large"].messages_per_min
+    stream = measurements["ais_stream"].messages_per_min
+    with console():
+        print(f"\nAIS velocity ordering: small={small:.0f} < large={large:.0f} < stream={stream:.0f} msg/min")
+    assert small < large < stream
+    benchmark(lambda: measurements["ais_stream"].messages_per_min)

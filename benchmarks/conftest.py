@@ -1,0 +1,28 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every bench prints a "paper vs measured" table through the capture
+manager (so the rows appear even without ``-s``), then exercises the hot
+path under pytest-benchmark for the timing numbers.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import pytest
+
+
+@pytest.fixture
+def console(pytestconfig):
+    """A context manager that prints through pytest's output capture."""
+    capman = pytestconfig.pluginmanager.getplugin("capturemanager")
+
+    @contextmanager
+    def _disabled():
+        if capman is None:
+            yield
+        else:
+            with capman.global_and_fixture_disabled():
+                yield
+
+    return _disabled

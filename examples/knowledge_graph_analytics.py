@@ -1,0 +1,78 @@
+"""Batch scenario: knowledge-graph analytics over enriched trajectories.
+
+The paper's batch layer: trajectory synopses and contextual sources are
+lifted to RDF with the datAcron ontology, integrated by link discovery,
+stored in the distributed spatio-temporal store, and queried with
+star-join + spatio-temporal constraints. This example runs that whole
+path and shows the pushdown-vs-baseline query plans side by side.
+
+Run:  python examples/knowledge_graph_analytics.py
+"""
+
+from repro.datasources import AISConfig, AISSimulator, DEFAULT_BBOX, generate_ports, generate_regions
+from repro.geo import BBox
+from repro.kgstore import KGStore, STConstraint, star
+from repro.linkdiscovery import PortLinkDiscoverer, RegionLinkDiscoverer
+from repro.rdf import A, Graph, VOC, var
+from repro.rdf.rdfizers import port_rdfizer, region_rdfizer, synopses_rdfizer
+from repro.synopses import SynopsesGenerator
+
+
+def main() -> None:
+    # 1. Sources: a fleet, a region catalogue, a port register.
+    fleet = AISSimulator(n_vessels=40, seed=13, config=AISConfig(report_period_s=30.0))
+    fixes = list(fleet.fixes(0.0, 4 * 3600.0))
+    regions = generate_regions(800, seed=14)
+    ports = generate_ports(300, seed=15)
+
+    # 2. Real-time products: synopses and discovered links.
+    generator = SynopsesGenerator()
+    points = list(generator.process_stream(fixes)) + generator.flush()
+    region_ld = RegionLinkDiscoverer(regions, DEFAULT_BBOX, cell_deg=0.5)
+    port_ld = PortLinkDiscoverer(ports, DEFAULT_BBOX, threshold_m=10_000.0, cell_deg=0.5)
+    links = region_ld.discover([p.fix for p in points]).links
+    links += port_ld.discover([p.fix for p in points]).links
+    print(f"synopses: {len(points)} critical points; links discovered: {len(links)}")
+
+    # 3. Lift everything to RDF (datAcron ontology).
+    graph = Graph()
+    for rdfizer in (synopses_rdfizer(points), region_rdfizer(regions), port_rdfizer(ports)):
+        graph.add_all(rdfizer.triples())
+    print(f"knowledge graph: {len(graph)} triples")
+
+    # 4. Load the distributed store and query with a spatio-temporal constraint.
+    store = KGStore(DEFAULT_BBOX, t_origin=0.0, t_extent_s=4 * 3600.0,
+                    layout="property_table", grid_cols=64, grid_rows=32, t_slots=32)
+    load = store.load(list(graph))
+    print(f"store: {load.triples} triples, {load.anchored_subjects} spatio-temporally "
+          f"anchored subjects, layout=property_table")
+
+    query = star(
+        "node",
+        (A, VOC.SemanticNode),
+        (VOC.timestamp, var("t")),
+        (VOC.eventType, var("kind")),
+        st=STConstraint(BBox(5.0, 35.0, 15.0, 42.0), 0.0, 2 * 3600.0),
+    )
+    results, metrics_push = store.execute(query, pushdown=True)
+    _, metrics_base = store.execute(query, pushdown=False)
+    print(f"\nstar query: {len(results)} semantic nodes in the window")
+    print(f"  pushdown plan : {metrics_push.wall_seconds * 1e3:7.1f} ms "
+          f"({metrics_push.refined} subjects refined)")
+    print(f"  baseline plan : {metrics_base.wall_seconds * 1e3:7.1f} ms "
+          f"({metrics_base.refined} subjects refined)")
+
+    # 5. A reference-evaluator sanity check on a tiny BGP join.
+    sols = graph.query_bgp([
+        (var("traj"), A, VOC.Trajectory),
+        (var("traj"), VOC.hasSemanticNode, var("node")),
+        (var("node"), VOC.eventType, var("kind")),
+    ])
+    kinds = {}
+    for sol in sols:
+        kinds[sol["kind"].value] = kinds.get(sol["kind"].value, 0) + 1
+    print(f"\ncritical-point mix across all trajectories: {kinds}")
+
+
+if __name__ == "__main__":
+    main()

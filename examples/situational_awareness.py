@@ -1,0 +1,77 @@
+"""Situational awareness: collision warnings and flight-plan adherence.
+
+The two decision-support products the paper's Section 2 motivates:
+
+* maritime — screen a fleet snapshot for dangerous approaches (CPA/TCPA)
+  and tell each vessel its COLREG obligations;
+* ATM — score a day of flights against their filed plans, the
+  predictability picture an ANSP watches.
+
+Run:  python examples/situational_awareness.py
+"""
+
+from repro.analytics import CollisionRiskAssessor, assess_fleet
+from repro.datasources import (
+    AIRPORTS,
+    FlightConfig,
+    FlightPlan,
+    FlightSimulator,
+    make_route,
+)
+from repro.datasources.registry import generate_aircraft_registry
+from repro.datasources.weather import WeatherField
+from repro.geo import PositionFix, destination_point
+
+
+def maritime_watch() -> None:
+    print("=== maritime collision watch ===")
+    # A snapshot: a trawler working an area, three ships converging on it.
+    trawler = PositionFix("TRAWLER-1", 0.0, 24.2, 38.1, speed=2.0, heading=350.0)
+    lon, lat = destination_point(24.2, 38.1, 90.0, 9_000.0)
+    cargo = PositionFix("CARGO-7", 0.0, lon, lat, speed=7.5, heading=270.0)   # head-on-ish
+    lon, lat = destination_point(24.2, 38.1, 200.0, 14_000.0)
+    ferry = PositionFix("FERRY-2", 0.0, lon, lat, speed=11.0, heading=20.0)   # crossing
+    lon, lat = destination_point(24.2, 38.1, 45.0, 60_000.0)
+    tanker = PositionFix("TANKER-9", 0.0, lon, lat, speed=6.0, heading=45.0)  # sailing away
+
+    assessor = CollisionRiskAssessor(cpa_threshold_m=1852.0, tcpa_horizon_s=2400.0)
+    warnings = assessor.assess_fleet([trawler, cargo, ferry, tanker])
+    print(f"fleet of 4, {len(warnings)} conflict(s) inside 1 NM within 40 min:")
+    for w in warnings:
+        action = "GIVE WAY" if w.give_way_required else "stand on"
+        print(f"  {w.own_id} vs {w.other_id}: CPA {w.cpa_m:,.0f} m in {w.tcpa_s / 60:.1f} min "
+              f"({w.encounter}, {w.own_id} must {action})")
+
+
+def atm_adherence() -> None:
+    print("\n=== ATM flight-plan adherence ===")
+    weather = WeatherField(seed=91)
+    aircraft = generate_aircraft_registry(6, seed=92)
+    nominal = FlightSimulator(weather, FlightConfig(sample_period_s=16.0), seed=93)
+    windy = FlightSimulator(
+        weather, FlightConfig(sample_period_s=16.0, wind_deviation_gain=420.0), seed=93
+    )
+    flights = []
+    for i in range(8):
+        dep, arr = AIRPORTS["LEBL"], AIRPORTS["LEMD"]
+        ac = aircraft[i % len(aircraft)]
+        plan = FlightPlan(f"IB{i:04d}", f"IB{i:04d}", dep, arr,
+                          make_route(dep, arr, variant=i % 2, cruise_fl=ac.cruise_fl, seed=9),
+                          ac.cruise_fl, i * 1800.0)
+        simulator = windy if i in (2, 5) else nominal     # two rough sectors
+        flights.append((plan, simulator.fly(plan, ac, seed=i).trajectory))
+
+    fleet = assess_fleet(flights)
+    print(f"{len(fleet.reports)} flights, adherent fraction: "
+          f"{fleet.adherent_fraction(max_p95_m=4000.0) * 100:.0f} % "
+          f"(mean cross-track {fleet.mean_cross_track_m():,.0f} m)")
+    print("worst deviations:")
+    for report in fleet.worst(3):
+        print(f"  {report.flight_id}: p95 {report.p95_cross_track_m:,.0f} m, "
+              f"max {report.max_cross_track_m:,.0f} m, "
+              f"excursions {report.excursion_fraction * 100:.1f} %")
+
+
+if __name__ == "__main__":
+    maritime_watch()
+    atm_adherence()

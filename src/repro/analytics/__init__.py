@@ -1,0 +1,38 @@
+"""Batch-layer trajectory analytics (Figure 2): pattern mining, risk, adherence."""
+
+from .adherence import AdherenceReport, FleetAdherence, assess_adherence, assess_fleet
+from .collision import (
+    CPAResult,
+    CollisionRiskAssessor,
+    CollisionWarning,
+    CROSSING_GIVE_WAY,
+    CROSSING_STAND_ON,
+    HEAD_ON,
+    OVERTAKING,
+    classify_encounter,
+    closest_point_of_approach,
+)
+from .mobility import MobilityPatternReport, critical_point_sequences, mine_mobility_patterns
+from .sequential import SequentialPattern, maximal_patterns, mine_sequential_patterns
+
+__all__ = [
+    "AdherenceReport",
+    "CPAResult",
+    "CROSSING_GIVE_WAY",
+    "CROSSING_STAND_ON",
+    "CollisionRiskAssessor",
+    "CollisionWarning",
+    "FleetAdherence",
+    "HEAD_ON",
+    "MobilityPatternReport",
+    "OVERTAKING",
+    "SequentialPattern",
+    "assess_adherence",
+    "assess_fleet",
+    "classify_encounter",
+    "closest_point_of_approach",
+    "critical_point_sequences",
+    "maximal_patterns",
+    "mine_mobility_patterns",
+    "mine_sequential_patterns",
+]

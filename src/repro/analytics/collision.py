@@ -1,0 +1,168 @@
+"""Collision-risk assessment (the paper's maritime security scenario, §2).
+
+"To prevent collision of fishing vessels with other ships we need to
+predict which other vessels ... will cross the areas where the fishing
+vessels are fishing, sending a warning to the vessels identified for
+possible collision, taking also appropriate action as specified by
+COLREGs."
+
+This module provides the classic kinematic machinery behind such
+warnings:
+
+* **CPA/TCPA** — closest point of approach and its time, from the two
+  vessels' current positions and velocity vectors (straight-line
+  extrapolation, i.e. the FLP linear mode);
+* **risk classification** — a warning when the CPA falls below a
+  distance threshold within a look-ahead window;
+* **COLREG encounter geometry** — head-on / crossing (give-way or
+  stand-on) / overtaking, from the relative bearings, which determines
+  who must "give way" (the paper's situational-awareness use case).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..geo import LocalProjection, PositionFix
+from ..geo.units import heading_difference, normalize_heading
+
+#: COLREG encounter classes.
+HEAD_ON = "head_on"
+CROSSING_GIVE_WAY = "crossing_give_way"   # the other vessel is on our starboard
+CROSSING_STAND_ON = "crossing_stand_on"   # the other vessel is on our port side
+OVERTAKING = "overtaking"
+
+
+@dataclass(frozen=True, slots=True)
+class CPAResult:
+    """Closest point of approach between two tracks."""
+
+    cpa_m: float           # miss distance at closest approach
+    tcpa_s: float          # seconds until closest approach (0 if diverging)
+    current_distance_m: float
+
+    @property
+    def converging(self) -> bool:
+        return self.tcpa_s > 0.0
+
+
+def _velocity(fix: PositionFix) -> tuple[float, float]:
+    """The (east, north) velocity vector of a fix, m/s."""
+    speed = fix.speed or 0.0
+    heading = math.radians(fix.heading or 0.0)
+    return speed * math.sin(heading), speed * math.cos(heading)
+
+
+def closest_point_of_approach(a: PositionFix, b: PositionFix) -> CPAResult:
+    """CPA/TCPA from the vessels' instantaneous kinematics.
+
+    Both fixes should be (approximately) simultaneous; positions are
+    projected into a shared local plane and extrapolated linearly.
+    """
+    proj = LocalProjection(a.lon, a.lat)
+    ax, ay = 0.0, 0.0
+    bx, by = proj.to_xy(b.lon, b.lat)
+    avx, avy = _velocity(a)
+    bvx, bvy = _velocity(b)
+    rx, ry = bx - ax, by - ay              # relative position
+    vx, vy = bvx - avx, bvy - avy          # relative velocity
+    current = math.hypot(rx, ry)
+    v2 = vx * vx + vy * vy
+    if v2 < 1e-9:
+        # No relative motion: the distance never changes.
+        return CPAResult(cpa_m=current, tcpa_s=0.0, current_distance_m=current)
+    tcpa = -(rx * vx + ry * vy) / v2
+    if tcpa <= 0.0:
+        # Diverging: the closest approach is now.
+        return CPAResult(cpa_m=current, tcpa_s=0.0, current_distance_m=current)
+    cx, cy = rx + vx * tcpa, ry + vy * tcpa
+    return CPAResult(cpa_m=math.hypot(cx, cy), tcpa_s=tcpa, current_distance_m=current)
+
+
+def classify_encounter(own: PositionFix, other: PositionFix) -> str:
+    """COLREG encounter geometry from the two headings and relative bearing.
+
+    Rules (Rule 13/14/15 geometry, simplified to the standard sectors):
+
+    * reciprocal courses (within 15 deg of head-on) -> ``head_on``;
+    * approach from more than 112.5 deg abaft the other's beam ->
+      ``overtaking``;
+    * otherwise a crossing: the vessel that has the other on her
+      *starboard* side gives way.
+    """
+    own_heading = own.heading or 0.0
+    other_heading = other.heading or 0.0
+    course_diff = heading_difference(own_heading, other_heading)
+    # Bearing of the other vessel, relative to our heading (0 = dead ahead).
+    proj = LocalProjection(own.lon, own.lat)
+    ox, oy = proj.to_xy(other.lon, other.lat)
+    absolute_bearing = math.degrees(math.atan2(ox, oy))
+    relative_bearing = normalize_heading(absolute_bearing - own_heading)
+
+    if course_diff > 165.0 and (relative_bearing < 15.0 or relative_bearing > 345.0):
+        return HEAD_ON
+    # Overtaking: we approach from the other's stern sector (their view of us).
+    other_proj = LocalProjection(other.lon, other.lat)
+    sx, sy = other_proj.to_xy(own.lon, own.lat)
+    bearing_from_other = normalize_heading(math.degrees(math.atan2(sx, sy)) - other_heading)
+    if 112.5 < bearing_from_other < 247.5 and course_diff < 67.5:
+        return OVERTAKING
+    if relative_bearing < 180.0:
+        return CROSSING_GIVE_WAY      # other on our starboard side
+    return CROSSING_STAND_ON
+
+
+@dataclass(frozen=True, slots=True)
+class CollisionWarning:
+    """An actionable conflict alert for a vessel pair."""
+
+    own_id: str
+    other_id: str
+    t: float
+    cpa_m: float
+    tcpa_s: float
+    encounter: str
+
+    @property
+    def give_way_required(self) -> bool:
+        """Whether the *own* vessel must act under the classified geometry."""
+        return self.encounter in (HEAD_ON, CROSSING_GIVE_WAY, OVERTAKING)
+
+
+class CollisionRiskAssessor:
+    """Screen simultaneous vessel fixes for dangerous approaches."""
+
+    def __init__(self, cpa_threshold_m: float = 1852.0, tcpa_horizon_s: float = 1800.0):
+        if cpa_threshold_m <= 0 or tcpa_horizon_s <= 0:
+            raise ValueError("thresholds must be positive")
+        self.cpa_threshold_m = cpa_threshold_m
+        self.tcpa_horizon_s = tcpa_horizon_s
+
+    def assess_pair(self, own: PositionFix, other: PositionFix) -> CollisionWarning | None:
+        """A warning iff the pair reaches CPA < threshold within the horizon."""
+        cpa = closest_point_of_approach(own, other)
+        dangerous_now = cpa.current_distance_m < self.cpa_threshold_m
+        dangerous_soon = cpa.converging and cpa.tcpa_s <= self.tcpa_horizon_s and cpa.cpa_m < self.cpa_threshold_m
+        if not (dangerous_now or dangerous_soon):
+            return None
+        return CollisionWarning(
+            own_id=own.entity_id,
+            other_id=other.entity_id,
+            t=own.t,
+            cpa_m=cpa.cpa_m,
+            tcpa_s=cpa.tcpa_s,
+            encounter=classify_encounter(own, other),
+        )
+
+    def assess_fleet(self, fixes: list[PositionFix]) -> list[CollisionWarning]:
+        """All pairwise warnings in a snapshot of simultaneous fixes."""
+        warnings: list[CollisionWarning] = []
+        for i, own in enumerate(fixes):
+            for other in fixes[i + 1 :]:
+                if own.entity_id == other.entity_id:
+                    continue
+                warning = self.assess_pair(own, other)
+                if warning is not None:
+                    warnings.append(warning)
+        return warnings

@@ -1,0 +1,66 @@
+"""Mobility-pattern mining over critical-point sequences.
+
+Adapts the PrefixSpan miner to the trajectory domain: each entity's
+synopsis becomes the ordered sequence of its critical-point types
+(optionally enriched with area context), and frequent subsequences are
+behavioural motifs — the "patterns of events to be predicted" that the
+paper's offline complex event analyser discovers on historical data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..synopses import CriticalPoint
+
+from .sequential import SequentialPattern, maximal_patterns, mine_sequential_patterns
+
+
+def critical_point_sequences(points: Iterable[CriticalPoint]) -> dict[str, list[str]]:
+    """Per-entity, time-ordered sequences of critical-point types."""
+    buckets: dict[str, list[tuple[float, str]]] = {}
+    for cp in points:
+        buckets.setdefault(cp.entity_id, []).append((cp.t, cp.kind))
+    return {
+        entity: [kind for _, kind in sorted(items)]
+        for entity, items in buckets.items()
+    }
+
+
+@dataclass
+class MobilityPatternReport:
+    """The mined motifs of a trajectory corpus."""
+
+    n_trajectories: int
+    patterns: list[SequentialPattern]
+
+    def top(self, n: int = 10, min_length: int = 2) -> list[SequentialPattern]:
+        """The n highest-support motifs of at least ``min_length`` events."""
+        return [p for p in self.patterns if len(p) >= min_length][:n]
+
+    def support_of(self, *kinds: str) -> int:
+        """Support of an exact motif (0 if not frequent)."""
+        for p in self.patterns:
+            if p.sequence == kinds:
+                return p.support
+        return 0
+
+
+def mine_mobility_patterns(
+    points: Iterable[CriticalPoint],
+    min_support_fraction: float = 0.3,
+    max_length: int = 5,
+    maximal_only: bool = False,
+) -> MobilityPatternReport:
+    """Mine frequent critical-point motifs from a synopsis corpus."""
+    if not 0.0 < min_support_fraction <= 1.0:
+        raise ValueError("min_support_fraction must be in (0, 1]")
+    sequences = list(critical_point_sequences(points).values())
+    if not sequences:
+        return MobilityPatternReport(0, [])
+    min_support = max(1, int(round(min_support_fraction * len(sequences))))
+    patterns = mine_sequential_patterns(sequences, min_support=min_support, max_length=max_length)
+    if maximal_only:
+        patterns = maximal_patterns(patterns)
+    return MobilityPatternReport(len(sequences), patterns)

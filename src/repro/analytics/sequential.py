@@ -1,0 +1,108 @@
+"""Sequential pattern mining (the batch layer's trajectory analytics).
+
+Figure 2 of the paper places "Trajectory Analytics (clustering,
+sequential pattern mining)" in the batch layer, operating over the
+stored enriched trajectories. Clustering lives in
+:mod:`repro.prediction.clustering`; this module provides the sequential
+side: a PrefixSpan implementation (Pei et al.) over symbol sequences,
+used to discover frequent behavioural motifs in critical-point
+sequences — e.g. that ``turn -> slow_start -> stop_start`` is a common
+port-approach signature.
+
+The miner works on any hashable symbols; :mod:`.mobility` adapts it to
+trajectories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class SequentialPattern:
+    """A frequent subsequence with its support."""
+
+    sequence: tuple[Hashable, ...]
+    support: int                    # number of input sequences containing it
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+def mine_sequential_patterns(
+    sequences: Sequence[Sequence[Hashable]],
+    min_support: int,
+    max_length: int = 6,
+) -> list[SequentialPattern]:
+    """PrefixSpan: all subsequences appearing in >= ``min_support`` sequences.
+
+    A pattern ``p`` is *contained* in a sequence ``s`` iff p is a
+    subsequence of s (order-preserving, gaps allowed) — the standard
+    sequential-pattern semantics. Returns patterns sorted by
+    (support desc, length desc, lexical), each at most ``max_length`` long.
+    """
+    if min_support < 1:
+        raise ValueError("min_support must be >= 1")
+    if max_length < 1:
+        raise ValueError("max_length must be >= 1")
+
+    results: list[SequentialPattern] = []
+
+    def project(database: list[tuple[int, int]], symbol: Hashable) -> list[tuple[int, int]]:
+        """Advance each (sequence index, offset) past the next ``symbol``."""
+        projected = []
+        for seq_idx, offset in database:
+            seq = sequences[seq_idx]
+            for k in range(offset, len(seq)):
+                if seq[k] == symbol:
+                    projected.append((seq_idx, k + 1))
+                    break
+        return projected
+
+    def grow(prefix: tuple[Hashable, ...], database: list[tuple[int, int]]) -> None:
+        if len(prefix) >= max_length:
+            return
+        # Count, per candidate symbol, the sequences in which it still occurs.
+        counts: dict[Hashable, int] = {}
+        for seq_idx, offset in database:
+            seen: set[Hashable] = set()
+            seq = sequences[seq_idx]
+            for k in range(offset, len(seq)):
+                if seq[k] not in seen:
+                    seen.add(seq[k])
+                    counts[seq[k]] = counts.get(seq[k], 0) + 1
+        for symbol in sorted(counts, key=repr):
+            support = counts[symbol]
+            if support < min_support:
+                continue
+            extended = prefix + (symbol,)
+            results.append(SequentialPattern(extended, support))
+            grow(extended, project(database, symbol))
+
+    grow((), [(i, 0) for i in range(len(sequences))])
+    results.sort(key=lambda p: (-p.support, -len(p.sequence), tuple(map(repr, p.sequence))))
+    return results
+
+
+def maximal_patterns(patterns: Sequence[SequentialPattern]) -> list[SequentialPattern]:
+    """Filter to patterns not contained (as subsequences) in a longer frequent one.
+
+    Reporting maximal patterns is the usual way to keep miner output
+    readable: every frequent prefix of a maximal pattern is implied.
+    """
+
+    def contains(big: tuple, small: tuple) -> bool:
+        it = iter(big)
+        return all(any(x == y for y in it) for x in small)
+
+    out: list[SequentialPattern] = []
+    for p in patterns:
+        dominated = any(
+            q is not p and len(q.sequence) > len(p.sequence) and q.support >= p.support
+            and contains(q.sequence, p.sequence)
+            for q in patterns
+        )
+        if not dominated:
+            out.append(p)
+    return out

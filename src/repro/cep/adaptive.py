@@ -1,0 +1,105 @@
+"""Online model adaptation for event forecasting (the paper's open challenge).
+
+Section 6 closes with: "the method that we have proposed assumes
+stationarity which implies that the transition matrix of the PMC does
+not change. However, the statistical properties of a stream may indeed
+change over time in which case we would need an efficient method for
+updating online the probabilistic model."
+
+:class:`AdaptiveWayebEngine` is that method: it keeps a sliding window
+of the most recent input symbols, re-estimates the conditional
+distribution from the window every ``refresh_every`` events, and
+rebuilds the PMC and its forecast table in place. Detection semantics
+are untouched (the DFA is fixed by the pattern); only the probabilistic
+layer adapts. Rebuild cost is O(|Q| * |Σ|^(m+1) + states * horizon),
+amortized over the refresh interval.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .events import SimpleEvent, conditional_distribution, empirical_distribution
+from .markov import build_pmc_iid, build_pmc_markov
+from .pattern import Pattern
+from .waiting import forecast_table
+from .wayeb import Detection, Forecast, WayebEngine, WayebRun
+
+
+@dataclass
+class AdaptationStats:
+    """How often and when the model was rebuilt."""
+
+    rebuilds: int = 0
+    last_rebuild_position: int = -1
+
+
+class AdaptiveWayebEngine(WayebEngine):
+    """A Wayeb engine whose PMC tracks a non-stationary input stream."""
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        alphabet: Sequence[str],
+        order: int = 1,
+        threshold: float = 0.5,
+        horizon: int = 50,
+        window_size: int = 500,
+        refresh_every: int = 100,
+    ):
+        super().__init__(pattern, alphabet, order=order, threshold=threshold, horizon=horizon)
+        if window_size < 10:
+            raise ValueError("window must hold at least 10 symbols")
+        if refresh_every < 1:
+            raise ValueError("refresh interval must be >= 1")
+        self.window_size = window_size
+        self.refresh_every = refresh_every
+        self._window: deque[str] = deque(maxlen=window_size)
+        self.adaptation = AdaptationStats()
+
+    def train(self, training_symbols: Sequence[str]) -> None:
+        """Initial fit; also seeds the sliding window with the newest symbols."""
+        super().train(training_symbols)
+        self._window.clear()
+        self._window.extend(training_symbols[-self.window_size :])
+
+    def _rebuild(self, position: int) -> None:
+        symbols = list(self._window)
+        if self.order == 0:
+            self.pmc = build_pmc_iid(self.dfa, empirical_distribution(symbols, self.alphabet))
+        else:
+            table = conditional_distribution(symbols, self.alphabet, self.order)
+            self.pmc = build_pmc_markov(self.dfa, table, self.order)
+        self._forecast_by_state = forecast_table(self.pmc, self.threshold, self.horizon)
+        self.adaptation.rebuilds += 1
+        self.adaptation.last_rebuild_position = position
+
+    def run(self, events: Iterable[SimpleEvent], emit_forecasts: bool = True) -> WayebRun:
+        """Process a stream, adapting the probabilistic model as it drifts."""
+        if self.pmc is None:
+            raise RuntimeError("engine is untrained; call train() first")
+        run = WayebRun()
+        state = self.dfa.start
+        context: tuple[str, ...] = ()
+        since_refresh = 0
+        for position, event in enumerate(events):
+            state = self.dfa.step(state, event.symbol)
+            if self.order > 0:
+                context = (context + (event.symbol,))[-self.order :]
+            self._window.append(event.symbol)
+            since_refresh += 1
+            if since_refresh >= self.refresh_every and len(self._window) >= 10:
+                self._rebuild(position)
+                since_refresh = 0
+            run.events_processed += 1
+            if self.dfa.is_final(state):
+                run.detections.append(Detection(position, event.t))
+            if emit_forecasts and (self.order == 0 or len(context) == self.order):
+                pmc_state = self.pmc.state_index(state, context if self.order > 0 else ())
+                if pmc_state is not None:
+                    interval = self._forecast_by_state[pmc_state]
+                    if interval is not None:
+                        run.forecasts.append(Forecast(position, event.t, interval))
+        return run

@@ -1,0 +1,66 @@
+"""Figure-8 evaluation: precision vs. threshold for different Markov orders.
+
+Runs the full Wayeb pipeline over a vessel's turn-event stream for a grid
+of confidence thresholds and input-model orders, reporting precision per
+(order, threshold) — the exact series the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .events import SimpleEvent, symbol_sequence
+from .pattern import Pattern
+from .wayeb import PrecisionReport, WayebEngine, score_forecasts
+
+
+@dataclass(frozen=True, slots=True)
+class PrecisionPoint:
+    """One point of the Figure-8 curves."""
+
+    order: int
+    threshold: float
+    precision: float
+    scored_forecasts: int
+    mean_interval_length: float
+
+
+def precision_sweep(
+    pattern: Pattern,
+    alphabet: Sequence[str],
+    training_events: Sequence[SimpleEvent],
+    test_events: Sequence[SimpleEvent],
+    thresholds: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
+    orders: Sequence[int] = (1, 2),
+    horizon: int = 60,
+) -> list[PrecisionPoint]:
+    """Precision of event forecasting across thresholds and Markov orders."""
+    training_symbols = symbol_sequence(training_events)
+    points: list[PrecisionPoint] = []
+    for order in orders:
+        for threshold in thresholds:
+            engine = WayebEngine(pattern, alphabet, order=order, threshold=threshold, horizon=horizon)
+            engine.train(training_symbols)
+            run = engine.run(test_events)
+            report: PrecisionReport = score_forecasts(run, len(test_events))
+            points.append(
+                PrecisionPoint(
+                    order=order,
+                    threshold=threshold,
+                    precision=report.precision,
+                    scored_forecasts=report.scored,
+                    mean_interval_length=report.mean_interval_length,
+                )
+            )
+    return points
+
+
+def points_by_order(points: Sequence[PrecisionPoint]) -> dict[int, list[PrecisionPoint]]:
+    """Group sweep output into one curve per order, sorted by threshold."""
+    curves: dict[int, list[PrecisionPoint]] = {}
+    for p in points:
+        curves.setdefault(p.order, []).append(p)
+    for order in curves:
+        curves[order].sort(key=lambda p: p.threshold)
+    return curves

@@ -1,0 +1,148 @@
+"""The Wayeb engine: online complex-event detection and forecasting.
+
+Ties the pipeline together exactly as Section 6 describes: pattern ->
+DFA -> PMC (for the assumed input order) -> waiting-time distributions
+-> threshold forecast intervals, then runs online over an event stream,
+emitting detections (DFA final states) and forecasts (the interval of
+the current PMC state). Precision scoring matches the paper's Figure-8
+definition: a forecast is accurate iff the complex event is indeed
+detected within its interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .automaton import DFA, compile_pattern
+from .events import SimpleEvent, conditional_distribution, empirical_distribution
+from .markov import PatternMarkovChain, build_pmc_iid, build_pmc_markov
+from .pattern import Pattern
+from .waiting import ForecastInterval, forecast_table
+
+
+@dataclass(frozen=True, slots=True)
+class Detection:
+    """One complex-event detection."""
+
+    position: int          # index in the event stream
+    t: float
+
+
+@dataclass(frozen=True, slots=True)
+class Forecast:
+    """One emitted forecast, anchored at the stream position it was made."""
+
+    position: int
+    t: float
+    interval: ForecastInterval
+
+
+@dataclass
+class WayebRun:
+    """Everything a stream run produced."""
+
+    detections: list[Detection] = field(default_factory=list)
+    forecasts: list[Forecast] = field(default_factory=list)
+    events_processed: int = 0
+
+
+class WayebEngine:
+    """Online detector + forecaster for one pattern."""
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        alphabet: Sequence[str],
+        order: int = 1,
+        threshold: float = 0.5,
+        horizon: int = 50,
+    ):
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        self.pattern = pattern
+        self.alphabet = tuple(alphabet)
+        self.order = order
+        self.threshold = threshold
+        self.horizon = horizon
+        self.dfa: DFA = compile_pattern(pattern, self.alphabet)
+        self.pmc: PatternMarkovChain | None = None
+        self._forecast_by_state: list[ForecastInterval | None] = []
+
+    def train(self, training_symbols: Sequence[str]) -> None:
+        """Estimate the input process and precompute the forecast table."""
+        if self.order == 0:
+            probs = empirical_distribution(training_symbols, self.alphabet)
+            self.pmc = build_pmc_iid(self.dfa, probs)
+        else:
+            table = conditional_distribution(training_symbols, self.alphabet, self.order)
+            self.pmc = build_pmc_markov(self.dfa, table, self.order)
+        self._forecast_by_state = forecast_table(self.pmc, self.threshold, self.horizon)
+
+    def run(self, events: Iterable[SimpleEvent], emit_forecasts: bool = True) -> WayebRun:
+        """Process a stream: detect complex events, emit per-position forecasts.
+
+        Forecasts are suppressed while the context is shorter than the model
+        order, and at positions whose PMC state has no confident interval.
+        """
+        if self.pmc is None:
+            raise RuntimeError("engine is untrained; call train() first")
+        run = WayebRun()
+        state = self.dfa.start
+        context: tuple[str, ...] = ()
+        for position, event in enumerate(events):
+            state = self.dfa.step(state, event.symbol)
+            if self.order > 0:
+                context = (context + (event.symbol,))[-self.order :]
+            run.events_processed += 1
+            if self.dfa.is_final(state):
+                run.detections.append(Detection(position, event.t))
+            if emit_forecasts and (self.order == 0 or len(context) == self.order):
+                pmc_state = self.pmc.state_index(state, context if self.order > 0 else ())
+                if pmc_state is not None:
+                    interval = self._forecast_by_state[pmc_state]
+                    if interval is not None:
+                        run.forecasts.append(Forecast(position, event.t, interval))
+        return run
+
+
+@dataclass
+class PrecisionReport:
+    """Figure-8 scoring of one run."""
+
+    scored: int
+    accurate: int
+    mean_interval_length: float
+
+    @property
+    def precision(self) -> float:
+        return self.accurate / self.scored if self.scored else float("nan")
+
+
+def score_forecasts(run: WayebRun, stream_length: int) -> PrecisionReport:
+    """Precision: the fraction of forecasts whose interval contained a detection.
+
+    Forecasts whose interval extends past the end of the stream are not
+    scored (their outcome is unknown), matching standard practice.
+    """
+    detection_positions = sorted(d.position for d in run.detections)
+    scored = 0
+    accurate = 0
+    total_length = 0
+    import bisect
+
+    for forecast in run.forecasts:
+        window_start = forecast.position + forecast.interval.start
+        window_end = forecast.position + forecast.interval.end
+        if window_end >= stream_length:
+            continue
+        scored += 1
+        total_length += forecast.interval.length
+        i = bisect.bisect_left(detection_positions, window_start)
+        if i < len(detection_positions) and detection_positions[i] <= window_end:
+            accurate += 1
+    return PrecisionReport(
+        scored=scored,
+        accurate=accurate,
+        mean_interval_length=total_length / scored if scored else float("nan"),
+    )

@@ -1,0 +1,28 @@
+"""The integrated datAcron pipeline (S12): Figure 2 wired end to end."""
+
+from .batch import BatchLayer, BatchReport
+from .config import (
+    SystemConfig,
+    TOPIC_CLEAN,
+    TOPIC_EVENTS,
+    TOPIC_LINKS,
+    TOPIC_RAW,
+    TOPIC_SYNOPSES,
+)
+from .realtime import RealtimeLayer, RealtimeReport
+from .system import DatacronSystem, SystemRun
+
+__all__ = [
+    "BatchLayer",
+    "BatchReport",
+    "DatacronSystem",
+    "RealtimeLayer",
+    "RealtimeReport",
+    "SystemConfig",
+    "SystemRun",
+    "TOPIC_CLEAN",
+    "TOPIC_EVENTS",
+    "TOPIC_LINKS",
+    "TOPIC_RAW",
+    "TOPIC_SYNOPSES",
+]

@@ -1,0 +1,114 @@
+"""The batch layer of the datAcron architecture (Figure 2).
+
+Consumes what the real-time layer persisted to the broker (its own
+consumer group — the same data, independently readable), lifts the
+trajectory synopses to RDF with the datAcron ontology templates, stores
+them in the distributed-store surrogate, and exposes spatio-temporal
+star-query analytics plus the offline data-quality assessment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analytics import MobilityPatternReport, mine_mobility_patterns
+from ..geo import BBox
+from ..kgstore import KGStore, LoadReport, STConstraint, star
+from ..rdf import A, Graph, Triple, VOC, var
+from ..rdf.rdfizers import synopses_rdfizer
+from ..streams import Broker
+from ..synopses import CriticalPoint
+from ..va import DataQualityReport, assess_quality
+
+from .config import SystemConfig, TOPIC_CLEAN, TOPIC_SYNOPSES
+
+
+@dataclass
+class BatchReport:
+    """What one batch run produced."""
+
+    synopsis_points: int = 0
+    triples: int = 0
+    anchored_subjects: int = 0
+
+
+class BatchLayer:
+    """RDF lifting, persistent storage and offline analytics."""
+
+    def __init__(self, config: SystemConfig, broker: Broker, t_origin: float, t_extent_s: float):
+        self.config = config
+        self.broker = broker
+        self.store = KGStore(
+            config.bbox,
+            t_origin=t_origin,
+            t_extent_s=t_extent_s,
+            layout="property_table",
+            grid_cols=32,
+            grid_rows=32,
+            t_slots=32,
+        )
+        self.graph = Graph()
+        self.report = BatchReport()
+        self._points: list[CriticalPoint] = []
+
+    def ingest_from_broker(self) -> BatchReport:
+        """Drain the synopses topic (batch consumer group) into the KG store."""
+        consumer = self.broker.consumer(TOPIC_SYNOPSES, group="batch")
+        points: list[CriticalPoint] = []
+        while True:
+            records = consumer.poll(max_messages=10_000)
+            if not records:
+                break
+            points.extend(r.value for r in records)
+        self.report.synopsis_points += len(points)
+        self._points.extend(points)
+        if points:
+            triples = list(synopses_rdfizer(points).triples())
+            self.graph.add_all(triples)
+            load: LoadReport = self.store.load(list(self.graph))
+            self.report.triples = load.triples
+            self.report.anchored_subjects = load.anchored_subjects
+        return self.report
+
+    def nodes_in_range(self, bbox: BBox, t_min: float, t_max: float) -> list[dict]:
+        """Star-query: semantic nodes (with time/kind) inside a space-time range."""
+        query = star(
+            "node",
+            (A, VOC.SemanticNode),
+            (VOC.timestamp, var("t")),
+            (VOC.eventType, var("kind")),
+            st=STConstraint(bbox, t_min, t_max),
+        )
+        bindings, _ = self.store.execute(query)
+        return bindings
+
+    def event_type_counts(self) -> dict[str, int]:
+        """Offline analytics: critical-point counts by type, from the graph."""
+        counts: dict[str, int] = {}
+        for triple in self.graph.match(None, VOC.eventType, None):
+            kind = triple.o.value
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    def mobility_patterns(self, min_support_fraction: float = 0.4, max_length: int = 4) -> MobilityPatternReport:
+        """Frequent critical-point motifs over the ingested trajectory corpus.
+
+        The "sequential pattern mining" half of the batch layer's trajectory
+        analytics (Figure 2).
+        """
+        return mine_mobility_patterns(
+            self._points,
+            min_support_fraction=min_support_fraction,
+            max_length=max_length,
+        )
+
+    def data_quality(self) -> DataQualityReport:
+        """Offline quality assessment over the cleaned surveillance history."""
+        consumer = self.broker.consumer(TOPIC_CLEAN, group="quality")
+        fixes = []
+        while True:
+            records = consumer.poll(max_messages=10_000)
+            if not records:
+                break
+            fixes.extend(r.value for r in records)
+        return assess_quality(fixes)

@@ -1,0 +1,171 @@
+"""The real-time layer of the datAcron architecture (Figure 2).
+
+Wires the streaming components exactly as the paper's real-time layer:
+
+    raw surveillance -> online cleaning -> in-situ statistics
+        -> synopses generation (critical points)
+        -> spatio-temporal link discovery (within / nearTo / proximity)
+        -> complex event recognition & forecasting
+        -> real-time dashboard
+
+All hops go through broker topics, so each stage can also be consumed
+independently (the dashboard and the batch layer read the same topics
+through their own consumer groups).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..cep import (
+    SimpleEvent,
+    TURN_ALPHABET,
+    WayebEngine,
+    north_to_south_reversal,
+    turn_event_stream,
+)
+from ..datasources import generate_ports, generate_regions
+from ..datasources.weather import WeatherField
+from ..geo import PositionFix
+from ..insitu import AreaEventDetector, QualityReport, RegionIndex, clean_stream, stats_for_fixes
+from ..linkdiscovery import (
+    Link,
+    MovingProximityDiscoverer,
+    PortLinkDiscoverer,
+    RegionLinkDiscoverer,
+)
+from ..streams import Broker, Record
+from ..synopses import CriticalPoint, SynopsesGenerator
+from ..va import Dashboard
+
+from .config import (
+    SystemConfig,
+    TOPIC_CLEAN,
+    TOPIC_EVENTS,
+    TOPIC_LINKS,
+    TOPIC_RAW,
+    TOPIC_SYNOPSES,
+)
+
+
+@dataclass
+class RealtimeReport:
+    """Counters of one real-time run."""
+
+    raw_fixes: int = 0
+    clean_fixes: int = 0
+    critical_points: int = 0
+    area_events: int = 0
+    links: int = 0
+    proximity_links: int = 0
+    cep_detections: int = 0
+    cep_forecasts: int = 0
+    quality: QualityReport = field(default_factory=QualityReport)
+
+    @property
+    def compression_ratio(self) -> float:
+        if self.clean_fixes == 0:
+            return 0.0
+        return 1.0 - self.critical_points / self.clean_fixes
+
+
+class RealtimeLayer:
+    """The wired streaming pipeline."""
+
+    def __init__(self, config: SystemConfig | None = None, cep_training_symbols: list[str] | None = None):
+        self.config = config or SystemConfig()
+        cfg = self.config
+        self.broker = Broker()
+        for topic in (TOPIC_RAW, TOPIC_CLEAN, TOPIC_SYNOPSES, TOPIC_LINKS, TOPIC_EVENTS):
+            self.broker.create_topic(topic, partitions=2)
+        self.regions = generate_regions(cfg.n_regions, bbox=cfg.bbox, seed=cfg.seed)
+        self.ports = generate_ports(cfg.n_ports, bbox=cfg.bbox, seed=cfg.seed + 1)
+        self.synopses = SynopsesGenerator(cfg.synopses)
+        self.area_detector = AreaEventDetector(RegionIndex(self.regions, cell_deg=cfg.grid_cell_deg))
+        self.region_links = RegionLinkDiscoverer(
+            self.regions, cfg.bbox, cell_deg=cfg.grid_cell_deg, use_masks=True
+        )
+        self.port_links = PortLinkDiscoverer(
+            self.ports, cfg.bbox, threshold_m=cfg.near_port_threshold_m, cell_deg=cfg.grid_cell_deg
+        )
+        self.proximity = MovingProximityDiscoverer(
+            cfg.bbox, cfg.proximity_space_m, cfg.proximity_time_s, cell_deg=cfg.grid_cell_deg
+        )
+        self.dashboard = Dashboard(cfg.bbox)
+        self.weather = WeatherField(bbox=cfg.bbox, seed=cfg.seed + 2)
+        self.cep: WayebEngine | None = None
+        if cep_training_symbols:
+            self.cep = WayebEngine(
+                north_to_south_reversal(), TURN_ALPHABET, order=1, threshold=0.5, horizon=60
+            )
+            self.cep.train(cep_training_symbols)
+        self._cep_state = None
+        self.report = RealtimeReport()
+
+    def run(self, fixes: Iterable[PositionFix]) -> RealtimeReport:
+        """Push a bounded surveillance stream through the whole layer."""
+        report = self.report
+        cep_events: list[SimpleEvent] = []
+        raw_topic = self.broker.topic(TOPIC_RAW)
+        clean_topic = self.broker.topic(TOPIC_CLEAN)
+        syn_topic = self.broker.topic(TOPIC_SYNOPSES)
+        link_topic = self.broker.topic(TOPIC_LINKS)
+
+        def raw_stream():
+            for fix in fixes:
+                report.raw_fixes += 1
+                raw_topic.publish(Record(fix.t, fix, key=fix.entity_id))
+                yield fix
+
+        for fix in clean_stream(raw_stream(), config=self.config.quality, report=report.quality):
+            report.clean_fixes += 1
+            clean_topic.publish(Record(fix.t, fix, key=fix.entity_id))
+            self.dashboard.ingest_fix(fix)
+            # Low-level area events.
+            area_events = self.area_detector.process(fix)
+            report.area_events += len(area_events)
+            # Synopses.
+            points = self.synopses.process(fix)
+            for cp in points:
+                report.critical_points += 1
+                syn_topic.publish(Record(cp.t, cp, key=cp.entity_id))
+                self.dashboard.ingest_critical_point(cp)
+                self._enrich(cp, link_topic, report)
+                cep_events.extend(turn_event_stream([cp]))
+        # Trailing synopsis points.
+        for cp in self.synopses.flush():
+            report.critical_points += 1
+            syn_topic.publish(Record(cp.t, cp, key=cp.entity_id))
+            self._enrich(cp, link_topic, report)
+            cep_events.extend(turn_event_stream([cp]))
+        # Complex event recognition & forecasting over the synopsis stream.
+        if self.cep is not None and cep_events:
+            run = self.cep.run(cep_events)
+            report.cep_detections += len(run.detections)
+            report.cep_forecasts += len(run.forecasts)
+            events_topic = self.broker.topic(TOPIC_EVENTS)
+            for det in run.detections:
+                events_topic.publish(Record(det.t, det))
+                self.dashboard.ingest_alert(det.t, "NorthToSouthReversal")
+        return report
+
+    def _enrich(self, cp: CriticalPoint, link_topic, report: RealtimeReport) -> None:
+        """Run link discovery and weather enrichment for one critical point."""
+        sample = self.weather.sample(cp.fix.lon, cp.fix.lat, cp.t)
+        cp.detail["weather"] = {
+            "wind_u_ms": sample.wind_u_ms,
+            "wind_v_ms": sample.wind_v_ms,
+            "wave_m": sample.wave_height_m,
+        }
+        links: list[Link] = []
+        found, _ = self.region_links.links_for(cp.fix)
+        links.extend(found)
+        found, _ = self.port_links.links_for(cp.fix)
+        links.extend(found)
+        prox = self.proximity.process(cp.fix)
+        report.proximity_links += len(prox)
+        links.extend(prox)
+        report.links += len(links)
+        for link in links:
+            link_topic.publish(Record(link.t, link, key=link.source_id))

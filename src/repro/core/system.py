@@ -1,0 +1,44 @@
+"""The integrated datAcron system: real-time plus batch layers (Figure 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geo import PositionFix
+
+from .batch import BatchLayer, BatchReport
+from .config import SystemConfig
+from .realtime import RealtimeLayer, RealtimeReport
+
+
+@dataclass
+class SystemRun:
+    """The combined outcome of one end-to-end run."""
+
+    realtime: RealtimeReport
+    batch: BatchReport
+
+
+class DatacronSystem:
+    """End-to-end orchestration: feed surveillance in, get analytics out."""
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        t_origin: float = 0.0,
+        t_extent_s: float = 24 * 3600.0,
+        cep_training_symbols: list[str] | None = None,
+    ):
+        self.config = config or SystemConfig()
+        self.realtime = RealtimeLayer(self.config, cep_training_symbols=cep_training_symbols)
+        self.batch = BatchLayer(self.config, self.realtime.broker, t_origin, t_extent_s)
+
+    def run(self, fixes) -> SystemRun:
+        """Process a bounded surveillance stream through both layers."""
+        realtime_report = self.realtime.run(fixes)
+        batch_report = self.batch.ingest_from_broker()
+        return SystemRun(realtime=realtime_report, batch=batch_report)
+
+    def dashboard_frame(self, t: float | None = None) -> str:
+        """The current Figure-13 dashboard frame."""
+        return self.realtime.dashboard.render_frame(t)

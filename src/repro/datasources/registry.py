@@ -1,0 +1,119 @@
+"""Static entity registries: vessels, aircraft, and their metadata.
+
+These stand in for the paper's archival "Vessel Registers" (166,683
+distinct ships, Table 1) and aircraft context from the ECTL NM B2B
+feeds. Registries are deterministic functions of a seed, so every
+experiment can regenerate exactly the same fleet.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+#: Vessel type mix modelled on the AIS traffic composition in the paper's
+#: maritime scenarios (fishing + surrounding traffic of cargo/tanker/ferry).
+VESSEL_TYPES = ("fishing", "cargo", "tanker", "ferry", "tug", "pleasure")
+_VESSEL_TYPE_WEIGHTS = (0.22, 0.38, 0.16, 0.10, 0.06, 0.08)
+
+FLAGS = ("GR", "ES", "FR", "IT", "MT", "PA", "LR", "NL", "DE", "NO")
+
+AIRCRAFT_TYPES = ("A320", "A321", "B737", "B738", "A330", "B777", "AT76", "E190")
+_AIRCRAFT_WINGSPAN_CLASS = {
+    "A320": "medium", "A321": "medium", "B737": "medium", "B738": "medium",
+    "A330": "heavy", "B777": "heavy", "AT76": "light", "E190": "light",
+}
+_AIRCRAFT_CRUISE_SPEED_MS = {
+    "A320": 230.0, "A321": 230.0, "B737": 225.0, "B738": 228.0,
+    "A330": 245.0, "B777": 250.0, "AT76": 140.0, "E190": 210.0,
+}
+_AIRCRAFT_CRUISE_FL = {
+    "A320": 360, "A321": 350, "B737": 350, "B738": 360,
+    "A330": 390, "B777": 400, "AT76": 250, "E190": 340,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class VesselRecord:
+    """One row of the vessel registry."""
+
+    mmsi: str
+    name: str
+    vessel_type: str
+    flag: str
+    length_m: float
+    max_speed_kn: float
+
+    @property
+    def is_fishing(self) -> bool:
+        return self.vessel_type == "fishing"
+
+
+@dataclass(frozen=True, slots=True)
+class AircraftRecord:
+    """One row of the aircraft registry."""
+
+    icao24: str
+    registration: str
+    aircraft_type: str
+    size_class: str
+    cruise_speed_ms: float
+    cruise_fl: int
+
+
+def generate_vessel_registry(n: int, seed: int = 7) -> list[VesselRecord]:
+    """Generate ``n`` vessel registry rows deterministically."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    rng = random.Random(seed)
+    rows: list[VesselRecord] = []
+    for i in range(n):
+        vtype = rng.choices(VESSEL_TYPES, weights=_VESSEL_TYPE_WEIGHTS)[0]
+        length = {
+            "fishing": rng.uniform(12, 45),
+            "cargo": rng.uniform(80, 300),
+            "tanker": rng.uniform(100, 330),
+            "ferry": rng.uniform(60, 200),
+            "tug": rng.uniform(20, 40),
+            "pleasure": rng.uniform(8, 30),
+        }[vtype]
+        max_speed = {
+            "fishing": rng.uniform(9, 14),
+            "cargo": rng.uniform(12, 22),
+            "tanker": rng.uniform(11, 17),
+            "ferry": rng.uniform(16, 30),
+            "tug": rng.uniform(10, 14),
+            "pleasure": rng.uniform(10, 35),
+        }[vtype]
+        rows.append(
+            VesselRecord(
+                mmsi=f"{200_000_000 + seed * 1_000_000 + i}",
+                name=f"{vtype.upper()}-{i:06d}",
+                vessel_type=vtype,
+                flag=rng.choice(FLAGS),
+                length_m=round(length, 1),
+                max_speed_kn=round(max_speed, 1),
+            )
+        )
+    return rows
+
+
+def generate_aircraft_registry(n: int, seed: int = 11) -> list[AircraftRecord]:
+    """Generate ``n`` aircraft registry rows deterministically."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    rng = random.Random(seed)
+    rows: list[AircraftRecord] = []
+    for i in range(n):
+        atype = rng.choice(AIRCRAFT_TYPES)
+        rows.append(
+            AircraftRecord(
+                icao24=f"{0x340000 + i:06x}",
+                registration=f"EC-{chr(65 + (i // 676) % 26)}{chr(65 + (i // 26) % 26)}{chr(65 + i % 26)}",
+                aircraft_type=atype,
+                size_class=_AIRCRAFT_WINGSPAN_CLASS[atype],
+                cruise_speed_ms=_AIRCRAFT_CRUISE_SPEED_MS[atype],
+                cruise_fl=_AIRCRAFT_CRUISE_FL[atype],
+            )
+        )
+    return rows

@@ -1,0 +1,88 @@
+"""Geometry and spatio-temporal primitives (substrate S1).
+
+Everything spatial in the stack — synopses, link discovery, the
+knowledge-graph store's encoding, prediction errors, VA densities —
+is built on this package.
+"""
+
+from .geometry import (
+    BBox,
+    GeoPoint,
+    LocalProjection,
+    Polygon,
+    destination_point,
+    haversine_m,
+    initial_bearing_deg,
+    segments_intersect,
+)
+from .grid import Cell, EquiGrid, SpatioTemporalGrid
+from .trajectory import (
+    PositionFix,
+    Trajectory,
+    cross_track_error_m,
+    group_fixes_by_entity,
+    mean_sampling_period,
+    split_on_gaps,
+)
+from .units import (
+    EARTH_RADIUS_M,
+    KNOT_MS,
+    NAUTICAL_MILE_M,
+    feet_to_m,
+    heading_difference,
+    knots_to_ms,
+    m_to_feet,
+    ms_to_knots,
+    normalize_heading,
+)
+from .wkt import (
+    WKTError,
+    linestring_to_wkt,
+    multipolygon_to_wkt,
+    parse_geometry,
+    parse_linestring,
+    parse_multipolygon,
+    parse_point,
+    parse_polygon,
+    point_to_wkt,
+    polygon_to_wkt,
+)
+
+__all__ = [
+    "BBox",
+    "Cell",
+    "EARTH_RADIUS_M",
+    "EquiGrid",
+    "GeoPoint",
+    "KNOT_MS",
+    "LocalProjection",
+    "NAUTICAL_MILE_M",
+    "Polygon",
+    "PositionFix",
+    "SpatioTemporalGrid",
+    "Trajectory",
+    "WKTError",
+    "cross_track_error_m",
+    "destination_point",
+    "feet_to_m",
+    "group_fixes_by_entity",
+    "haversine_m",
+    "heading_difference",
+    "initial_bearing_deg",
+    "knots_to_ms",
+    "linestring_to_wkt",
+    "m_to_feet",
+    "mean_sampling_period",
+    "ms_to_knots",
+    "multipolygon_to_wkt",
+    "normalize_heading",
+    "parse_geometry",
+    "parse_linestring",
+    "parse_multipolygon",
+    "parse_point",
+    "parse_polygon",
+    "point_to_wkt",
+    "segments_intersect",
+    "polygon_to_wkt",
+    "split_on_gaps",
+]

@@ -1,0 +1,190 @@
+"""Equi-grid spatial partitioning.
+
+The paper uses equi-grids in two places:
+
+* link discovery (Section 4.2.4) organizes entities by space partitioning
+  into an equi-grid, with per-cell "masks" that prune refinement work, and
+* the knowledge-graph store (Section 4.2.5) encodes the approximate
+  position of an entity as the integer id of the spatio-temporal cell it
+  falls into.
+
+Both are backed by this module: a uniform lon/lat grid over a bounding
+box, with stable integer cell ids, neighbourhood queries, and polygon
+rasterization (the set of cells a polygon overlaps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .geometry import BBox, Polygon
+from .units import metres_per_degree_lat, metres_per_degree_lon
+
+
+@dataclass(frozen=True, slots=True)
+class Cell:
+    """A single grid cell, addressed by (col, row) with a stable integer id."""
+
+    col: int
+    row: int
+    cell_id: int
+    box: BBox
+
+
+class EquiGrid:
+    """A uniform grid over a geographic bounding box.
+
+    Cell ids are row-major integers: ``cell_id = row * cols + col``. Points
+    outside the bounding box are clamped to the border cells, which mirrors
+    how streaming surveillance systems treat slightly out-of-area fixes.
+    """
+
+    def __init__(self, bbox: BBox, cols: int, rows: int):
+        if cols < 1 or rows < 1:
+            raise ValueError("grid must have at least one column and one row")
+        self.bbox = bbox
+        self.cols = cols
+        self.rows = rows
+        self._dx = bbox.width / cols
+        self._dy = bbox.height / rows
+        if self._dx <= 0 or self._dy <= 0:
+            raise ValueError("grid over a zero-extent bbox")
+
+    @classmethod
+    def with_cell_size(cls, bbox: BBox, cell_deg: float) -> "EquiGrid":
+        """Build a grid whose cells are approximately ``cell_deg`` degrees wide."""
+        if cell_deg <= 0:
+            raise ValueError("cell size must be positive")
+        cols = max(1, round(bbox.width / cell_deg))
+        rows = max(1, round(bbox.height / cell_deg))
+        return cls(bbox, cols, rows)
+
+    def __len__(self) -> int:
+        return self.cols * self.rows
+
+    def __repr__(self) -> str:
+        return f"EquiGrid({self.cols}x{self.rows} over {self.bbox})"
+
+    def cell_size_m(self) -> tuple[float, float]:
+        """Approximate (width, height) of a cell in metres at the bbox centre."""
+        lat = self.bbox.center[1]
+        return self._dx * metres_per_degree_lon(lat), self._dy * metres_per_degree_lat()
+
+    def locate(self, lon: float, lat: float) -> tuple[int, int]:
+        """The (col, row) of the cell containing the point (clamped to grid)."""
+        col = int((lon - self.bbox.min_lon) / self._dx)
+        row = int((lat - self.bbox.min_lat) / self._dy)
+        return min(max(col, 0), self.cols - 1), min(max(row, 0), self.rows - 1)
+
+    def cell_id(self, lon: float, lat: float) -> int:
+        """The integer id of the cell containing the point."""
+        col, row = self.locate(lon, lat)
+        return row * self.cols + col
+
+    def cell_of_id(self, cell_id: int) -> Cell:
+        """Materialize a Cell from its integer id."""
+        if not 0 <= cell_id < len(self):
+            raise ValueError(f"cell id {cell_id} out of range [0, {len(self)})")
+        row, col = divmod(cell_id, self.cols)
+        return Cell(col, row, cell_id, self.cell_box(col, row))
+
+    def cell_box(self, col: int, row: int) -> BBox:
+        """The bounding box of cell (col, row)."""
+        if not (0 <= col < self.cols and 0 <= row < self.rows):
+            raise ValueError(f"cell ({col},{row}) out of range")
+        min_lon = self.bbox.min_lon + col * self._dx
+        min_lat = self.bbox.min_lat + row * self._dy
+        return BBox(min_lon, min_lat, min_lon + self._dx, min_lat + self._dy)
+
+    def neighbours(self, col: int, row: int, radius: int = 1) -> Iterator[tuple[int, int]]:
+        """Yield the (col, row) of cells within Chebyshev ``radius`` (self included)."""
+        for r in range(max(0, row - radius), min(self.rows, row + radius + 1)):
+            for c in range(max(0, col - radius), min(self.cols, col + radius + 1)):
+                yield c, r
+
+    def neighbour_ids(self, cell_id: int, radius: int = 1) -> list[int]:
+        """Neighbour cell ids (self included) within Chebyshev ``radius``."""
+        row, col = divmod(cell_id, self.cols)
+        return [r * self.cols + c for c, r in self.neighbours(col, row, radius)]
+
+    def cells_overlapping_bbox(self, box: BBox) -> Iterator[tuple[int, int]]:
+        """All (col, row) whose cell box intersects the given bbox."""
+        c0, r0 = self.locate(box.min_lon, box.min_lat)
+        c1, r1 = self.locate(box.max_lon, box.max_lat)
+        for row in range(r0, r1 + 1):
+            for col in range(c0, c1 + 1):
+                yield col, row
+
+    def rasterize_polygon(self, polygon: Polygon) -> list[int]:
+        """Ids of all cells whose box intersects the polygon.
+
+        Used by link discovery to assign stationary regions to blocks and to
+        build cell masks, and by the KG store to index region geometries.
+        """
+        hits: list[int] = []
+        for col, row in self.cells_overlapping_bbox(polygon.bbox):
+            if polygon.intersects_bbox(self.cell_box(col, row)):
+                hits.append(row * self.cols + col)
+        return hits
+
+    def radius_to_cells(self, radius_m: float) -> int:
+        """How many cell rings are needed to cover a metre radius.
+
+        Conservative: uses the smaller cell dimension so that a
+        ``radius_m`` ball around any point in a cell is fully covered by
+        the returned Chebyshev radius of cells.
+        """
+        if radius_m <= 0:
+            return 0
+        w_m, h_m = self.cell_size_m()
+        smallest = max(1e-9, min(w_m, h_m))
+        return int(radius_m / smallest) + 1
+
+
+class SpatioTemporalGrid:
+    """A 3-D (lon, lat, time) partitioning built on an EquiGrid.
+
+    This backs the KG store's dictionary encoding (Section 4.2.5): the
+    approximate position of a moving entity becomes a single integer —
+    the id of the spatio-temporal cell it occupies — so that range
+    constraints can be evaluated on encoded ids without touching the
+    underlying geometry literals.
+    """
+
+    def __init__(self, grid: EquiGrid, t_origin: float, t_step_s: float, t_slots: int):
+        if t_step_s <= 0:
+            raise ValueError("temporal step must be positive")
+        if t_slots < 1:
+            raise ValueError("need at least one temporal slot")
+        self.grid = grid
+        self.t_origin = t_origin
+        self.t_step_s = t_step_s
+        self.t_slots = t_slots
+
+    def __len__(self) -> int:
+        return len(self.grid) * self.t_slots
+
+    def t_slot(self, t: float) -> int:
+        """The temporal slot index of timestamp ``t`` (clamped)."""
+        slot = int((t - self.t_origin) / self.t_step_s)
+        return min(max(slot, 0), self.t_slots - 1)
+
+    def cell_id(self, lon: float, lat: float, t: float) -> int:
+        """The spatio-temporal cell id of a (lon, lat, t) sample."""
+        return self.t_slot(t) * len(self.grid) + self.grid.cell_id(lon, lat)
+
+    def decompose(self, st_id: int) -> tuple[int, int]:
+        """Split a spatio-temporal id into (t_slot, spatial_cell_id)."""
+        if not 0 <= st_id < len(self):
+            raise ValueError(f"st cell id {st_id} out of range")
+        return divmod(st_id, len(self.grid))
+
+    def ids_for_range(self, box: BBox, t_min: float, t_max: float) -> set[int]:
+        """All spatio-temporal cell ids overlapping a (bbox, time-interval) range."""
+        if t_max < t_min:
+            raise ValueError("t_max must be >= t_min")
+        spatial = [row * self.grid.cols + col for col, row in self.grid.cells_overlapping_bbox(box)]
+        s0, s1 = self.t_slot(t_min), self.t_slot(t_max)
+        n = len(self.grid)
+        return {slot * n + cell for slot in range(s0, s1 + 1) for cell in spatial}

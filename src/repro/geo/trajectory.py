@@ -1,0 +1,269 @@
+"""Trajectory containers: timestamped position sequences with derived motion.
+
+The paper's data model (Section 4.1) views a trajectory at several
+levels of analysis — raw position sequences, synopses of critical
+points, semantic segments. This module provides the raw level:
+``PositionFix`` (one surveillance message) and ``Trajectory`` (a
+per-entity, time-ordered sequence) with the derived kinematics
+(speed, heading, acceleration, turn rate, vertical rate) that the
+in-situ processor, synopses generator and predictors consume.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Iterator, Sequence
+
+from .geometry import GeoPoint, LocalProjection, haversine_m, initial_bearing_deg
+from .units import normalize_heading
+
+
+@dataclass(frozen=True, slots=True)
+class PositionFix:
+    """A single surveillance report for one moving entity.
+
+    ``speed`` is ground speed in m/s, ``heading`` is course over ground in
+    degrees, ``vrate`` is vertical rate in m/s (0 for vessels). Any of the
+    kinematic fields may be missing from a raw feed, in which case they are
+    derived from consecutive fixes by :meth:`Trajectory.with_derived_motion`.
+    """
+
+    entity_id: str
+    t: float
+    lon: float
+    lat: float
+    alt: float = 0.0
+    speed: float | None = None
+    heading: float | None = None
+    vrate: float | None = None
+    source: str = ""
+    annotations: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def point(self) -> GeoPoint:
+        return GeoPoint(self.lon, self.lat, self.alt)
+
+    def distance_to(self, other: "PositionFix") -> float:
+        """Surface distance to another fix, metres."""
+        return haversine_m(self.lon, self.lat, other.lon, other.lat)
+
+    def annotated(self, **extra) -> "PositionFix":
+        """A copy with additional annotation entries merged in."""
+        merged = dict(self.annotations)
+        merged.update(extra)
+        return replace(self, annotations=merged)
+
+
+class Trajectory:
+    """An immutable-by-convention, time-ordered sequence of fixes for one entity."""
+
+    __slots__ = ("entity_id", "fixes", "_times")
+
+    def __init__(self, entity_id: str, fixes: Iterable[PositionFix]):
+        ordered = sorted(fixes, key=lambda f: f.t)
+        for f in ordered:
+            if f.entity_id != entity_id:
+                raise ValueError(f"fix for {f.entity_id!r} in trajectory of {entity_id!r}")
+        self.entity_id = entity_id
+        self.fixes: list[PositionFix] = ordered
+        self._times = [f.t for f in ordered]
+
+    def __len__(self) -> int:
+        return len(self.fixes)
+
+    def __iter__(self) -> Iterator[PositionFix]:
+        return iter(self.fixes)
+
+    def __getitem__(self, idx: int) -> PositionFix:
+        return self.fixes[idx]
+
+    def __repr__(self) -> str:
+        span = f"{self.start_time():.0f}..{self.end_time():.0f}" if self.fixes else "empty"
+        return f"Trajectory({self.entity_id!r}, {len(self)} fixes, t={span})"
+
+    def start_time(self) -> float:
+        if not self.fixes:
+            raise ValueError("empty trajectory has no start time")
+        return self.fixes[0].t
+
+    def end_time(self) -> float:
+        if not self.fixes:
+            raise ValueError("empty trajectory has no end time")
+        return self.fixes[-1].t
+
+    def duration(self) -> float:
+        """Time span covered, seconds (0 for fewer than 2 fixes)."""
+        return 0.0 if len(self.fixes) < 2 else self.end_time() - self.start_time()
+
+    def length_m(self) -> float:
+        """Total travelled surface distance, metres."""
+        return sum(self.fixes[i].distance_to(self.fixes[i + 1]) for i in range(len(self.fixes) - 1))
+
+    def slice_time(self, t_min: float, t_max: float) -> "Trajectory":
+        """The sub-trajectory with ``t_min <= t <= t_max``."""
+        lo = bisect.bisect_left(self._times, t_min)
+        hi = bisect.bisect_right(self._times, t_max)
+        return Trajectory(self.entity_id, self.fixes[lo:hi])
+
+    def resampled(self, step_s: float) -> "Trajectory":
+        """A linearly interpolated copy on a uniform ``step_s`` time lattice."""
+        if step_s <= 0:
+            raise ValueError("step must be positive")
+        if len(self.fixes) < 2:
+            return Trajectory(self.entity_id, list(self.fixes))
+        out: list[PositionFix] = []
+        t = self.start_time()
+        end = self.end_time()
+        while t <= end + 1e-9:
+            out.append(self.at_time(t))
+            t += step_s
+        return Trajectory(self.entity_id, out)
+
+    def at_time(self, t: float) -> PositionFix:
+        """The (interpolated) fix at time ``t`` (clamped to the time span)."""
+        if not self.fixes:
+            raise ValueError("empty trajectory")
+        if t <= self._times[0]:
+            return self.fixes[0]
+        if t >= self._times[-1]:
+            return self.fixes[-1]
+        hi = bisect.bisect_right(self._times, t)
+        a, b = self.fixes[hi - 1], self.fixes[hi]
+        if b.t == a.t:
+            return a
+        w = (t - a.t) / (b.t - a.t)
+        return PositionFix(
+            entity_id=self.entity_id,
+            t=t,
+            lon=a.lon + w * (b.lon - a.lon),
+            lat=a.lat + w * (b.lat - a.lat),
+            alt=a.alt + w * (b.alt - a.alt),
+            speed=_lerp_optional(a.speed, b.speed, w),
+            heading=_lerp_heading(a.heading, b.heading, w),
+            vrate=_lerp_optional(a.vrate, b.vrate, w),
+            source=a.source,
+        )
+
+    def with_derived_motion(self) -> "Trajectory":
+        """A copy whose fixes all carry speed/heading/vrate.
+
+        Missing values are derived from consecutive displacement; present
+        values are kept (surveillance-reported kinematics win over derived).
+        """
+        if not self.fixes:
+            return Trajectory(self.entity_id, [])
+        out: list[PositionFix] = []
+        for i, f in enumerate(self.fixes):
+            prev = self.fixes[i - 1] if i > 0 else None
+            nxt = self.fixes[i + 1] if i + 1 < len(self.fixes) else None
+            ref_a, ref_b = (prev, f) if prev is not None else (f, nxt)
+            speed, heading, vrate = f.speed, f.heading, f.vrate
+            if ref_a is not None and ref_b is not None and ref_b.t > ref_a.t:
+                dt = ref_b.t - ref_a.t
+                if speed is None:
+                    speed = ref_a.distance_to(ref_b) / dt
+                if heading is None:
+                    heading = initial_bearing_deg(ref_a.lon, ref_a.lat, ref_b.lon, ref_b.lat)
+                if vrate is None:
+                    vrate = (ref_b.alt - ref_a.alt) / dt
+            out.append(
+                replace(
+                    f,
+                    speed=speed if speed is not None else 0.0,
+                    heading=normalize_heading(heading) if heading is not None else 0.0,
+                    vrate=vrate if vrate is not None else 0.0,
+                )
+            )
+        return Trajectory(self.entity_id, out)
+
+    def to_xy(self, projection: LocalProjection | None = None) -> list[tuple[float, float]]:
+        """Project all fixes to local metres; default origin is the first fix."""
+        if not self.fixes:
+            return []
+        proj = projection or LocalProjection(self.fixes[0].lon, self.fixes[0].lat)
+        return [proj.to_xy(f.lon, f.lat) for f in self.fixes]
+
+
+def _lerp_optional(a: float | None, b: float | None, w: float) -> float | None:
+    if a is None or b is None:
+        return a if b is None else b
+    return a + w * (b - a)
+
+
+def _lerp_heading(a: float | None, b: float | None, w: float) -> float | None:
+    """Interpolate headings along the shortest arc."""
+    if a is None or b is None:
+        return a if b is None else b
+    diff = (b - a + 180.0) % 360.0 - 180.0
+    return normalize_heading(a + w * diff)
+
+
+def group_fixes_by_entity(fixes: Iterable[PositionFix]) -> dict[str, Trajectory]:
+    """Partition a fix stream into per-entity trajectories."""
+    buckets: dict[str, list[PositionFix]] = {}
+    for f in fixes:
+        buckets.setdefault(f.entity_id, []).append(f)
+    return {eid: Trajectory(eid, fs) for eid, fs in buckets.items()}
+
+
+def split_on_gaps(trajectory: Trajectory, max_gap_s: float) -> list[Trajectory]:
+    """Split a trajectory into segments wherever the report gap exceeds ``max_gap_s``.
+
+    This is the standard trip-segmentation step applied before offline
+    analytics (the batch layer in Figure 2), since a vessel's AIS history
+    is one long stream covering many voyages.
+    """
+    if max_gap_s <= 0:
+        raise ValueError("gap threshold must be positive")
+    if len(trajectory) == 0:
+        return []
+    segments: list[list[PositionFix]] = [[trajectory[0]]]
+    for prev, cur in zip(trajectory, list(trajectory)[1:]):
+        if cur.t - prev.t > max_gap_s:
+            segments.append([])
+        segments[-1].append(cur)
+    return [Trajectory(trajectory.entity_id, seg) for seg in segments if seg]
+
+
+def mean_sampling_period(trajectory: Trajectory) -> float:
+    """The mean inter-report interval in seconds (inf for < 2 fixes)."""
+    if len(trajectory) < 2:
+        return math.inf
+    return trajectory.duration() / (len(trajectory) - 1)
+
+
+def crop_to_bbox(trajectory: Trajectory, predicate: Callable[[PositionFix], bool]) -> Trajectory:
+    """Keep only fixes satisfying ``predicate`` (e.g. inside an area of interest)."""
+    return Trajectory(trajectory.entity_id, [f for f in trajectory if predicate(f)])
+
+
+def cross_track_error_m(actual: Sequence[PositionFix], reference: Sequence[PositionFix]) -> list[float]:
+    """Per-point distance from each actual fix to the closest reference segment.
+
+    This is the "cross-track error" metric the paper quotes for the hybrid
+    clustering/HMM predictor (Section 5): how far the actual (or predicted)
+    track strays laterally from a reference path (e.g. a flight plan).
+    """
+    if len(reference) < 2:
+        raise ValueError("reference path needs at least 2 points")
+    proj = LocalProjection(reference[0].lon, reference[0].lat)
+    ref_xy = [proj.to_xy(p.lon, p.lat) for p in reference]
+    errors: list[float] = []
+    for fix in actual:
+        px, py = proj.to_xy(fix.lon, fix.lat)
+        best = math.inf
+        for (x1, y1), (x2, y2) in zip(ref_xy, ref_xy[1:]):
+            best = min(best, _segment_distance(px, py, x1, y1, x2, y2))
+        errors.append(best)
+    return errors
+
+
+def _segment_distance(px: float, py: float, x1: float, y1: float, x2: float, y2: float) -> float:
+    dx, dy = x2 - x1, y2 - y1
+    seg2 = dx * dx + dy * dy
+    if seg2 <= 0.0:
+        return math.hypot(px - x1, py - y1)
+    t = min(1.0, max(0.0, ((px - x1) * dx + (py - y1) * dy) / seg2))
+    return math.hypot(px - (x1 + t * dx), py - (y1 + t * dy))

@@ -1,0 +1,48 @@
+"""In-situ stream processing (S4): statistics, low-level events, cleaning."""
+
+from .area_events import AreaEvent, AreaEventDetector, RegionIndex, make_area_operator
+from .quality import (
+    ALL_ISSUES,
+    ISSUE_COORD_RANGE,
+    ISSUE_DUPLICATE_TIME,
+    ISSUE_IMPLIED_SPEED,
+    ISSUE_REPORTED_SPEED,
+    ISSUE_TIME_ORDER,
+    QualityConfig,
+    QualityReport,
+    QualityState,
+    check_fix,
+    clean_stream,
+    make_cleaning_operator,
+)
+from .stats import (
+    OnlineStats,
+    TrajectoryStatsState,
+    make_stats_operator,
+    stats_for_fixes,
+    update_trajectory_stats,
+)
+
+__all__ = [
+    "ALL_ISSUES",
+    "AreaEvent",
+    "AreaEventDetector",
+    "ISSUE_COORD_RANGE",
+    "ISSUE_DUPLICATE_TIME",
+    "ISSUE_IMPLIED_SPEED",
+    "ISSUE_REPORTED_SPEED",
+    "ISSUE_TIME_ORDER",
+    "OnlineStats",
+    "QualityConfig",
+    "QualityReport",
+    "QualityState",
+    "RegionIndex",
+    "TrajectoryStatsState",
+    "check_fix",
+    "clean_stream",
+    "make_area_operator",
+    "make_cleaning_operator",
+    "make_stats_operator",
+    "stats_for_fixes",
+    "update_trajectory_stats",
+]

@@ -1,0 +1,28 @@
+"""Knowledge-graph store (S8): dictionary-encoded spatio-temporal RDF storage."""
+
+from .encoding import Dictionary, DictionaryFullError, SERIAL_BITS, STPosition
+from .layouts import LAYOUTS, Partition, PropertyTable, TriplesTable, VerticalPartitioning
+from .parser import DEFAULT_PREFIXES, SPARQLSyntaxError, parse_star_query
+from .sparql import STConstraint, StarQuery, star
+from .store import KGStore, LoadReport, QueryMetrics
+
+__all__ = [
+    "DEFAULT_PREFIXES",
+    "Dictionary",
+    "DictionaryFullError",
+    "KGStore",
+    "LAYOUTS",
+    "LoadReport",
+    "Partition",
+    "PropertyTable",
+    "QueryMetrics",
+    "SERIAL_BITS",
+    "SPARQLSyntaxError",
+    "STConstraint",
+    "STPosition",
+    "StarQuery",
+    "TriplesTable",
+    "VerticalPartitioning",
+    "parse_star_query",
+    "star",
+]

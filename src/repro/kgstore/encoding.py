@@ -1,0 +1,100 @@
+"""Dictionary encoding with embedded spatio-temporal cells (Section 4.2.5).
+
+The store's "custom dictionary encoding technique": every RDF term is
+mapped to a unique integer id (the dictionary itself is the REDIS
+surrogate — an in-memory key-value map). For *spatio-temporal entities*
+(semantic nodes carrying a position and a timestamp), the id embeds the
+id of the spatio-temporal grid cell the entity falls in:
+
+    id = (st_cell + 1) << SERIAL_BITS | serial
+
+so that spatio-temporal range constraints can be evaluated **directly on
+the encoded id** — no dictionary lookup, no geometry parsing — which is
+what makes the pushdown query plans fast. Terms without a position get
+st_cell slot 0 (i.e. "no cell").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geo import BBox, SpatioTemporalGrid
+from ..rdf import Term
+
+#: Bits reserved for the per-cell serial number.
+SERIAL_BITS = 24
+_SERIAL_MASK = (1 << SERIAL_BITS) - 1
+
+
+class DictionaryFullError(RuntimeError):
+    """Raised when a cell's serial space is exhausted."""
+
+
+@dataclass(frozen=True, slots=True)
+class STPosition:
+    """The spatio-temporal anchor of an entity, if it has one."""
+
+    lon: float
+    lat: float
+    t: float
+
+
+class Dictionary:
+    """Bidirectional term <-> integer-id dictionary with ST-aware ids."""
+
+    def __init__(self, st_grid: SpatioTemporalGrid):
+        self.st_grid = st_grid
+        self._term_to_id: dict[Term, int] = {}
+        self._id_to_term: dict[int, Term] = {}
+        self._next_serial: dict[int, int] = {}   # st slot -> next serial
+
+    def __len__(self) -> int:
+        return len(self._term_to_id)
+
+    def encode(self, term: Term, position: STPosition | None = None) -> int:
+        """The id of a term, minting one (with its ST cell) on first sight."""
+        existing = self._term_to_id.get(term)
+        if existing is not None:
+            return existing
+        if position is None:
+            slot = 0
+        else:
+            slot = self.st_grid.cell_id(position.lon, position.lat, position.t) + 1
+        serial = self._next_serial.get(slot, 0)
+        if serial > _SERIAL_MASK:
+            raise DictionaryFullError(f"st slot {slot} exhausted its {_SERIAL_MASK + 1} serials")
+        self._next_serial[slot] = serial + 1
+        term_id = (slot << SERIAL_BITS) | serial
+        self._term_to_id[term] = term_id
+        self._id_to_term[term_id] = term
+        return term_id
+
+    def lookup(self, term: Term) -> int | None:
+        """The id of a term if already encoded."""
+        return self._term_to_id.get(term)
+
+    def decode(self, term_id: int) -> Term:
+        """The term behind an id."""
+        try:
+            return self._id_to_term[term_id]
+        except KeyError:
+            raise KeyError(f"unknown term id {term_id}") from None
+
+    @staticmethod
+    def st_slot_of(term_id: int) -> int:
+        """The ST slot embedded in an id (0 = no spatio-temporal anchor)."""
+        return term_id >> SERIAL_BITS
+
+    def st_cell_of(self, term_id: int) -> int | None:
+        """The spatio-temporal grid cell of an id, or None if unanchored."""
+        slot = self.st_slot_of(term_id)
+        return None if slot == 0 else slot - 1
+
+    def ids_for_range(self, bbox: BBox, t_min: float, t_max: float) -> set[int]:
+        """The set of ST *slots* covering a query range (for id filtering)."""
+        return {cell + 1 for cell in self.st_grid.ids_for_range(bbox, t_min, t_max)}
+
+    @staticmethod
+    def id_matches_slots(term_id: int, slots: set[int]) -> bool:
+        """Constraint check evaluated purely on the encoded id."""
+        return (term_id >> SERIAL_BITS) in slots

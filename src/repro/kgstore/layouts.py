@@ -1,0 +1,173 @@
+"""Storage layouts and partitions (Section 4.2.5).
+
+The paper's storage layer supports several layouts over the encoded
+triples — "one-triples-table", vertical partitioning, and property
+tables — stored columnar (Parquet surrogate: parallel integer arrays)
+and partitioned across workers (HDFS surrogate: hash partitions by
+subject). All three layouts expose the same access paths the query
+engine needs: full scans, predicate-restricted scans, and
+subject-grouped rows for star joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+#: An encoded triple: integer (s, p, o).
+EncodedTriple = tuple[int, int, int]
+
+
+@dataclass(frozen=True, slots=True)
+class Partition:
+    """One columnar chunk of encoded triples."""
+
+    s: np.ndarray
+    p: np.ndarray
+    o: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.s)
+
+
+def _to_partition(triples: list[EncodedTriple]) -> Partition:
+    if triples:
+        arr = np.asarray(triples, dtype=np.int64)
+        return Partition(arr[:, 0].copy(), arr[:, 1].copy(), arr[:, 2].copy())
+    empty = np.empty(0, dtype=np.int64)
+    return Partition(empty, empty, empty)
+
+
+class TriplesTable:
+    """The "one-triples-table" layout: all triples in hash partitions by subject."""
+
+    name = "triples_table"
+
+    def __init__(self, triples: Iterable[EncodedTriple], n_partitions: int = 4):
+        if n_partitions < 1:
+            raise ValueError("need at least one partition")
+        buckets: list[list[EncodedTriple]] = [[] for _ in range(n_partitions)]
+        for s, p, o in triples:
+            buckets[s % n_partitions].append((s, p, o))
+        self.partitions = [_to_partition(b) for b in buckets]
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self.partitions)
+
+    def scan(self) -> Iterator[Partition]:
+        """Full scan, one partition at a time (the parallel unit)."""
+        return iter(self.partitions)
+
+    def scan_predicate(self, p_id: int) -> Iterator[Partition]:
+        """Scan restricted to a predicate (filter applied per partition)."""
+        for part in self.partitions:
+            mask = part.p == p_id
+            if mask.any():
+                yield Partition(part.s[mask], part.p[mask], part.o[mask])
+
+
+class VerticalPartitioning:
+    """One two-column table per predicate: the classic VP layout."""
+
+    name = "vertical_partitioning"
+
+    def __init__(self, triples: Iterable[EncodedTriple], n_partitions: int = 4):
+        if n_partitions < 1:
+            raise ValueError("need at least one partition")
+        self.n_partitions = n_partitions
+        grouped: dict[int, list[EncodedTriple]] = {}
+        for s, p, o in triples:
+            grouped.setdefault(p, []).append((s, p, o))
+        self._tables: dict[int, list[Partition]] = {}
+        self._size = 0
+        for p_id, rows in grouped.items():
+            buckets: list[list[EncodedTriple]] = [[] for _ in range(n_partitions)]
+            for s, p, o in rows:
+                buckets[s % n_partitions].append((s, p, o))
+            self._tables[p_id] = [_to_partition(b) for b in buckets if b]
+            self._size += len(rows)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def predicates(self) -> set[int]:
+        return set(self._tables)
+
+    def scan(self) -> Iterator[Partition]:
+        for parts in self._tables.values():
+            yield from parts
+
+    def scan_predicate(self, p_id: int) -> Iterator[Partition]:
+        """Direct per-predicate access: VP's whole point."""
+        yield from self._tables.get(p_id, [])
+
+
+class PropertyTable:
+    """Subject-grouped rows: one (sparse) row of properties per subject.
+
+    The natural layout for the star-join queries of the experiment: a
+    star over predicates p1..pk is a row-local operation, no join at all.
+    Multi-valued properties keep their last value in the row and spill
+    the rest to an overflow triples list (scanned only when the engine
+    asks for exhaustive semantics).
+    """
+
+    name = "property_table"
+
+    def __init__(self, triples: Iterable[EncodedTriple], n_partitions: int = 4):
+        if n_partitions < 1:
+            raise ValueError("need at least one partition")
+        self.n_partitions = n_partitions
+        self._rows: dict[int, dict[int, int]] = {}
+        self._overflow: list[EncodedTriple] = []
+        self._size = 0
+        for s, p, o in triples:
+            row = self._rows.setdefault(s, {})
+            if p in row:
+                self._overflow.append((s, p, row[p]))
+            row[p] = o
+            self._size += 1
+
+    def __len__(self) -> int:
+        return self._size
+
+    def subjects(self) -> Iterator[int]:
+        return iter(self._rows)
+
+    def row(self, s_id: int) -> dict[int, int] | None:
+        return self._rows.get(s_id)
+
+    def star_scan(self, predicate_ids: list[int]) -> Iterator[tuple[int, list[int]]]:
+        """All (subject, [object per predicate]) rows having every predicate."""
+        for s_id, row in self._rows.items():
+            objs = []
+            complete = True
+            for p_id in predicate_ids:
+                o = row.get(p_id)
+                if o is None:
+                    complete = False
+                    break
+                objs.append(o)
+            if complete:
+                yield s_id, objs
+
+    def scan(self) -> Iterator[Partition]:
+        rows: list[EncodedTriple] = [(s, p, o) for s, props in self._rows.items() for p, o in props.items()]
+        rows.extend(self._overflow)
+        yield _to_partition(rows)
+
+    def scan_predicate(self, p_id: int) -> Iterator[Partition]:
+        rows = [(s, p_id, props[p_id]) for s, props in self._rows.items() if p_id in props]
+        rows.extend(t for t in self._overflow if t[1] == p_id)
+        if rows:
+            yield _to_partition(rows)
+
+
+#: Layout registry by name.
+LAYOUTS = {
+    TriplesTable.name: TriplesTable,
+    VerticalPartitioning.name: VerticalPartitioning,
+    PropertyTable.name: PropertyTable,
+}

@@ -1,0 +1,198 @@
+"""A SPARQL-text front end for star queries.
+
+The paper's RDF-generation pitch is that the whole stack "can be used by
+anyone who can write simple SPARQL queries"; this parser extends that to
+the query side. It accepts the star-BGP subset the store executes::
+
+    PREFIX dtc: <http://www.datacron-project.eu/datAcron#>
+    SELECT ?node ?t WHERE {
+        ?node a dtc:SemanticNode ;
+              dtc:hasTimestamp ?t ;
+              dtc:eventType "turn" .
+        FILTER st_within(-6.0, 30.0, 30.0, 46.0, 0.0, 3600.0)
+    }
+
+Grammar: optional PREFIX declarations (the datAcron namespaces are
+pre-declared), a SELECT clause, one subject variable with a
+semicolon-chained predicate-object list, and an optional
+``st_within(minLon, minLat, maxLon, maxLat, tMin, tMax)`` filter that
+becomes an :class:`~repro.kgstore.sparql.STConstraint`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..geo import BBox
+from ..rdf import IRI, Literal, Variable
+from ..rdf.terms import XSD_DOUBLE, XSD_INTEGER
+from ..rdf.vocabulary import DTC, DUL, GEO, RDF, RDFS, SF, SOSA
+
+from .sparql import STConstraint, StarQuery
+
+#: Prefixes available without declaration.
+DEFAULT_PREFIXES = {
+    "dtc": DTC.base,
+    "dul": DUL.base,
+    "geo": GEO.base,
+    "rdf": RDF.base,
+    "rdfs": RDFS.base,
+    "sf": SF.base,
+    "sosa": SOSA.base,
+}
+
+_RDF_TYPE = IRI(RDF.base + "type")
+
+
+class SPARQLSyntaxError(ValueError):
+    """Raised on query text the star subset cannot represent."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<keyword>(?i:PREFIX|SELECT|WHERE|FILTER))
+  | (?P<iri><[^<>\s]*>)
+  | (?P<var>\?[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<pname>[A-Za-z_][A-Za-z0-9_-]*:[A-Za-z_][A-Za-z0-9_.-]*)
+  | (?P<prefixdecl>[A-Za-z_][A-Za-z0-9_-]*:)
+  | (?P<a>\ba\b)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<number>[-+]?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?)
+  | (?P<func>(?i:st_within))
+  | (?P<punct>[{}();,.])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            raise SPARQLSyntaxError(f"unexpected character {text[pos]!r} at offset {pos}")
+        pos = m.end()
+        kind = m.lastgroup
+        if kind in ("ws", "comment"):
+            continue
+        tokens.append((kind, m.group()))
+    return tokens
+
+
+class _Cursor:
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> tuple[str, str]:
+        tok = self.peek()
+        if tok is None:
+            raise SPARQLSyntaxError("unexpected end of query")
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str, value: str | None = None) -> str:
+        k, v = self.next()
+        if k != kind or (value is not None and v.lower() != value.lower()):
+            raise SPARQLSyntaxError(f"expected {value or kind}, got {v!r}")
+        return v
+
+
+def parse_star_query(text: str) -> StarQuery:
+    """Parse SPARQL text into a :class:`StarQuery`."""
+    cur = _Cursor(_tokenize(text))
+    prefixes = dict(DEFAULT_PREFIXES)
+
+    # PREFIX declarations.
+    while (tok := cur.peek()) is not None and tok[0] == "keyword" and tok[1].lower() == "prefix":
+        cur.next()
+        k, v = cur.next()
+        if k == "prefixdecl":
+            name = v[:-1]
+        elif k == "pname":
+            raise SPARQLSyntaxError(f"malformed prefix declaration near {v!r}")
+        else:
+            raise SPARQLSyntaxError(f"expected prefix name, got {v!r}")
+        iri = cur.expect("iri")
+        prefixes[name] = iri[1:-1]
+
+    cur.expect("keyword", "SELECT")
+    selected: list[str] = []
+    while (tok := cur.peek()) is not None and tok[0] == "var":
+        selected.append(cur.next()[1][1:])
+    cur.expect("keyword", "WHERE")
+    cur.expect("punct", "{")
+
+    subject_tok = cur.next()
+    if subject_tok[0] != "var":
+        raise SPARQLSyntaxError("star queries need a variable subject")
+    subject = Variable(subject_tok[1][1:])
+
+    def resolve_iri(kind: str, value: str) -> IRI:
+        if kind == "iri":
+            return IRI(value[1:-1])
+        if kind == "pname":
+            prefix, local = value.split(":", 1)
+            if prefix not in prefixes:
+                raise SPARQLSyntaxError(f"undeclared prefix {prefix!r}")
+            return IRI(prefixes[prefix] + local)
+        raise SPARQLSyntaxError(f"expected an IRI, got {value!r}")
+
+    arms = []
+    while True:
+        # Predicate.
+        k, v = cur.next()
+        if k == "a":
+            predicate = _RDF_TYPE
+        else:
+            predicate = resolve_iri(k, v)
+        # Object.
+        k, v = cur.next()
+        if k == "var":
+            obj: object = Variable(v[1:])
+        elif k in ("iri", "pname"):
+            obj = resolve_iri(k, v)
+        elif k == "string":
+            obj = Literal(v[1:-1].replace('\\"', '"'))
+        elif k == "number":
+            obj = Literal(v, XSD_INTEGER if re.fullmatch(r"[-+]?\d+", v) else XSD_DOUBLE)
+        else:
+            raise SPARQLSyntaxError(f"bad object {v!r}")
+        arms.append((predicate, obj))
+        k, v = cur.next()
+        if v == ";":
+            continue
+        if v == ".":
+            break
+        raise SPARQLSyntaxError(f"expected ';' or '.', got {v!r}")
+
+    st: STConstraint | None = None
+    tok = cur.peek()
+    if tok is not None and tok[0] == "keyword" and tok[1].lower() == "filter":
+        cur.next()
+        cur.expect("func")
+        cur.expect("punct", "(")
+        numbers = []
+        for i in range(6):
+            numbers.append(float(cur.expect("number")))
+            if i < 5:
+                cur.expect("punct", ",")
+        cur.expect("punct", ")")
+        st = STConstraint(BBox(numbers[0], numbers[1], numbers[2], numbers[3]), numbers[4], numbers[5])
+    cur.expect("punct", "}")
+    if cur.peek() is not None:
+        raise SPARQLSyntaxError(f"trailing tokens after '}}': {cur.peek()[1]!r}")
+
+    query = StarQuery(subject, tuple(arms), st=st)
+    if selected:
+        available = set(query.projected_variables())
+        missing = [name for name in selected if name not in available]
+        if missing:
+            raise SPARQLSyntaxError(f"SELECT variables not bound by the pattern: {missing}")
+    return query

@@ -1,0 +1,213 @@
+"""Cell masks: the paper's key link-discovery optimization (Section 4.2.4).
+
+For each grid cell, the *mask* is the complement — within the cell — of
+the union of the spatial areas of the stationary entities blocked with
+that cell (the green area of the paper's Figure 4). A new moving entity
+is first tested against the mask of its enclosing cell: if it falls in
+the mask, **no candidate pair in that cell can match**, and all
+refinement comparisons are skipped. The paper reports this raising
+throughput from 23.09 to 123.51 entities/s.
+
+The mask is realized as a per-cell bitmap over an ``n x n`` sub-grid: a
+sub-cell is *free* (in the mask) iff no candidate geometry overlaps it.
+Coverage is computed by scanline polygon rasterization — a supercover of
+every boundary edge plus an even-odd interior fill — which marks exactly
+the sub-cells the polygon intersects (boundary sub-cells come from the
+edge traversal, fully-interior sub-cells from the fill), in
+O(vertices + covered sub-cells) per region.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..datasources.regions import Region
+from ..geo import BBox, EquiGrid
+
+from .blocking import RegionBlocks
+
+
+@dataclass
+class MaskStats:
+    """How often the mask pruned all refinement work."""
+
+    tested: int = 0
+    pruned: int = 0
+
+    def prune_rate(self) -> float:
+        return self.pruned / self.tested if self.tested else 0.0
+
+
+class CellMasks:
+    """Per-cell coverage bitmaps over the blocked region set."""
+
+    def __init__(self, blocks: RegionBlocks, resolution: int = 16, near_margin_m: float = 0.0):
+        if resolution < 1:
+            raise ValueError("mask resolution must be >= 1")
+        self.blocks = blocks
+        self.grid = blocks.grid
+        self.resolution = resolution
+        self.near_margin_m = near_margin_m
+        # cell_id -> bitmask of covered sub-cells (bit set = covered, NOT mask).
+        self._coverage: dict[int, int] = {}
+        self._build()
+        # Cells that have blocked candidates but no materialized coverage
+        # (possible when a region's *expanded* blocking overshoots its
+        # geometry) must still have an all-free bitmap entry: "no entry"
+        # means "no candidates" to the fast path below.
+        for cell_id in self.blocks._cell_to_regions:
+            self._coverage.setdefault(cell_id, 0)
+        # cell_id -> (bits, min_lon, min_lat, inv_dx, inv_dy): precomputed so
+        # the hot in_mask lookup allocates nothing.
+        self._lookup: dict[int, tuple[int, float, float, float, float]] = {}
+        for cell_id, bits in self._coverage.items():
+            box = self.grid.cell_of_id(cell_id).box
+            self._lookup[cell_id] = (
+                bits,
+                box.min_lon,
+                box.min_lat,
+                self.resolution / box.width,
+                self.resolution / box.height,
+            )
+        self.stats = MaskStats()
+
+    # -- construction -------------------------------------------------------------
+
+    def _build(self) -> None:
+        res = self.resolution
+        grid = self.grid
+        sub_cols = grid.cols * res
+        sub_rows = grid.rows * res
+        inv_dx = sub_cols / grid.bbox.width
+        inv_dy = sub_rows / grid.bbox.height
+        min_lon, min_lat = grid.bbox.min_lon, grid.bbox.min_lat
+
+        def mark(sc: int, sr: int) -> None:
+            if not (0 <= sc < sub_cols and 0 <= sr < sub_rows):
+                return
+            cell_id = (sr // res) * grid.cols + (sc // res)
+            bit = 1 << ((sr % res) * res + (sc % res))
+            self._coverage[cell_id] = self._coverage.get(cell_id, 0) | bit
+
+        for region in self.blocks.regions:
+            if self.near_margin_m > 0.0:
+                # nearTo coverage: the expanded bounding rectangle.
+                box = region.polygon.bbox.expanded_by_metres(self.near_margin_m)
+                c0 = max(0, int((box.min_lon - min_lon) * inv_dx))
+                c1 = min(sub_cols - 1, int((box.max_lon - min_lon) * inv_dx))
+                r0 = max(0, int((box.min_lat - min_lat) * inv_dy))
+                r1 = min(sub_rows - 1, int((box.max_lat - min_lat) * inv_dy))
+                for sr in range(r0, r1 + 1):
+                    for sc in range(c0, c1 + 1):
+                        mark(sc, sr)
+                continue
+            rings = [region.polygon.vertices] + region.polygon.holes
+            # 1) Supercover of every boundary edge.
+            for ring in rings:
+                n = len(ring)
+                for i in range(n):
+                    ax, ay = ring[i]
+                    bx, by = ring[(i + 1) % n]
+                    _supercover(
+                        (ax - min_lon) * inv_dx,
+                        (ay - min_lat) * inv_dy,
+                        (bx - min_lon) * inv_dx,
+                        (by - min_lat) * inv_dy,
+                        mark,
+                    )
+            # 2) Even-odd interior fill along sub-row centre scanlines.
+            box = region.polygon.bbox
+            r0 = max(0, int((box.min_lat - min_lat) * inv_dy))
+            r1 = min(sub_rows - 1, int((box.max_lat - min_lat) * inv_dy))
+            for sr in range(r0, r1 + 1):
+                y = min_lat + (sr + 0.5) / inv_dy
+                crossings: list[float] = []
+                for ring in rings:
+                    n = len(ring)
+                    for i in range(n):
+                        x1, y1 = ring[i]
+                        x2, y2 = ring[(i + 1) % n]
+                        if (y1 > y) != (y2 > y):
+                            crossings.append(x1 + (y - y1) * (x2 - x1) / (y2 - y1))
+                crossings.sort()
+                for j in range(0, len(crossings) - 1, 2):
+                    c_start = int((crossings[j] - min_lon) * inv_dx)
+                    c_end = int((crossings[j + 1] - min_lon) * inv_dx)
+                    for sc in range(max(0, c_start), min(sub_cols - 1, c_end) + 1):
+                        mark(sc, sr)
+
+    # -- querying -----------------------------------------------------------------
+
+    def in_mask(self, lon: float, lat: float) -> bool:
+        """True iff the point lies in the *free* part of its cell.
+
+        A True verdict guarantees no blocked geometry can match the point,
+        so the caller may skip refinement entirely.
+        """
+        self.stats.tested += 1
+        cell_id = self.grid.cell_id(lon, lat)
+        entry = self._lookup.get(cell_id)
+        if entry is None:
+            # No candidates blocked with this cell at all: trivially in mask.
+            self.stats.pruned += 1
+            return True
+        bits, min_lon, min_lat, inv_dx, inv_dy = entry
+        res = self.resolution
+        c = int((lon - min_lon) * inv_dx)
+        r = int((lat - min_lat) * inv_dy)
+        if c < 0:
+            c = 0
+        elif c >= res:
+            c = res - 1
+        if r < 0:
+            r = 0
+        elif r >= res:
+            r = res - 1
+        free = not (bits & (1 << (r * res + c)))
+        if free:
+            self.stats.pruned += 1
+        return free
+
+    def coverage_fraction(self, cell_id: int) -> float:
+        """Fraction of a cell's sub-cells covered by candidate geometry."""
+        bits = self._coverage.get(cell_id, 0)
+        return bin(bits).count("1") / (self.resolution * self.resolution)
+
+    def masked_cells(self) -> int:
+        """Number of cells with a materialized coverage bitmap."""
+        return len(self._coverage)
+
+
+def _supercover(x0: float, y0: float, x1: float, y1: float, mark) -> None:
+    """Mark every sub-cell a segment passes through (Amanatides-Woo traversal)."""
+    cx, cy = int(math.floor(x0)), int(math.floor(y0))
+    ex, ey = int(math.floor(x1)), int(math.floor(y1))
+    mark(cx, cy)
+    dx, dy = x1 - x0, y1 - y0
+    step_x = 1 if dx > 0 else -1
+    step_y = 1 if dy > 0 else -1
+    # Parametric distance to the next vertical/horizontal sub-cell boundary.
+    t_max_x = math.inf if dx == 0 else ((cx + (step_x > 0)) - x0) / dx
+    t_max_y = math.inf if dy == 0 else ((cy + (step_y > 0)) - y0) / dy
+    t_delta_x = math.inf if dx == 0 else abs(1.0 / dx)
+    t_delta_y = math.inf if dy == 0 else abs(1.0 / dy)
+    # Bounded loop: a segment crosses at most |ex-cx| + |ey-cy| boundaries.
+    for _ in range(abs(ex - cx) + abs(ey - cy) + 2):
+        if cx == ex and cy == ey:
+            break
+        if t_max_x < t_max_y:
+            t_max_x += t_delta_x
+            cx += step_x
+        elif t_max_y < t_max_x:
+            t_max_y += t_delta_y
+            cy += step_y
+        else:
+            # Exact corner crossing: mark both adjacent cells (conservative).
+            mark(cx + step_x, cy)
+            mark(cx, cy + step_y)
+            t_max_x += t_delta_x
+            t_max_y += t_delta_y
+            cx += step_x
+            cy += step_y
+        mark(cx, cy)

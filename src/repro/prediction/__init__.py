@@ -1,0 +1,51 @@
+"""Trajectory prediction (S9): RMF/RMF* for FLP, hybrid clustering/HMM for TP."""
+
+from .blind import BlindHMMPredictor, BlindModelReport
+from .clustering import OpticsResult, extract_clusters, medoid_of, optics, semt_optics
+from .distances import erp_distance, flight_distance, point_distance
+from .evaluation import (
+    HorizonErrors,
+    flp_horizon_sweep,
+    flp_sweep_many,
+    rmse,
+    waypoint_rmse,
+)
+from .feedback import ErrorFeedbackPredictor, FeedbackStats
+from .features import EnrichedPoint, FlightFeatures, extract_features, features_dataset, signed_waypoint_deviations
+from .hmm import DeviationBins, DeviationHMM, GaussianHMM
+from .hybrid import HybridClusteringHMM, HybridEvaluation, HybridModelReport
+from .rmf import PredictedPoint, RMFPredictor, RMFStarPredictor
+
+__all__ = [
+    "BlindHMMPredictor",
+    "BlindModelReport",
+    "DeviationBins",
+    "DeviationHMM",
+    "EnrichedPoint",
+    "ErrorFeedbackPredictor",
+    "FeedbackStats",
+    "FlightFeatures",
+    "GaussianHMM",
+    "HorizonErrors",
+    "HybridClusteringHMM",
+    "HybridEvaluation",
+    "HybridModelReport",
+    "OpticsResult",
+    "PredictedPoint",
+    "RMFPredictor",
+    "RMFStarPredictor",
+    "erp_distance",
+    "extract_clusters",
+    "extract_features",
+    "features_dataset",
+    "flight_distance",
+    "flp_horizon_sweep",
+    "flp_sweep_many",
+    "medoid_of",
+    "optics",
+    "point_distance",
+    "rmse",
+    "semt_optics",
+    "signed_waypoint_deviations",
+    "waypoint_rmse",
+]

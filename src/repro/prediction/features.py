@@ -1,0 +1,109 @@
+"""Enriched reference points and per-waypoint deviation extraction (Section 5).
+
+The datAcron TP approach is *semantic-aware*: instead of raw position
+streams it works on **reference points** (flight-plan waypoints) enriched
+with the covariates that drive deviations — local weather, aircraft
+size, seasonal/time factors. This module extracts those features from
+simulated flights: the signed lateral deviation of the actual track at
+each waypoint, together with the enrichment vector the predictors learn
+from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..datasources.aviation import SimulatedFlight
+from ..geo import LocalProjection, PositionFix
+
+
+@dataclass(frozen=True, slots=True)
+class EnrichedPoint:
+    """One reference point enriched with covariates."""
+
+    lon: float
+    lat: float
+    alt: float
+    t: float
+    covariates: tuple[float, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class FlightFeatures:
+    """The TP view of one flight: reference points, deviations, covariates."""
+
+    flight_id: str
+    route_key: str                    # departure-arrival pair
+    variant: int                      # ground-truth route variant (evaluation only)
+    points: tuple[EnrichedPoint, ...]
+    deviations_m: tuple[float, ...]   # signed lateral deviation at each waypoint
+    size_class: str
+    hour_of_day: float
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+def signed_waypoint_deviations(flight: SimulatedFlight) -> list[float]:
+    """Signed lateral deviation (m) of the actual track at each plan waypoint.
+
+    Positive = left of track (same convention as the simulator's offset).
+    The deviation at a waypoint is measured from the actual fix nearest (in
+    the plan's local frame) to the waypoint, projected on the local track
+    normal.
+    """
+    plan = flight.plan
+    path = plan.lateral_path()
+    proj = LocalProjection(path[0][0], path[0][1])
+    path_xy = [proj.to_xy(lon, lat) for lon, lat in path]
+    actual_xy = [proj.to_xy(f.lon, f.lat) for f in flight.trajectory]
+    deviations: list[float] = []
+    for wp_index, waypoint in enumerate(plan.waypoints):
+        wx, wy = proj.to_xy(waypoint.lon, waypoint.lat)
+        # Track tangent at the waypoint: direction between surrounding path nodes.
+        a = path_xy[wp_index]       # previous path node (waypoint k has path index k+1)
+        b = path_xy[min(wp_index + 2, len(path_xy) - 1)]
+        tx, ty = b[0] - a[0], b[1] - a[1]
+        norm = math.hypot(tx, ty) or 1.0
+        nx, ny = -ty / norm, tx / norm
+        # Nearest actual sample to the waypoint.
+        best = min(actual_xy, key=lambda p: (p[0] - wx) ** 2 + (p[1] - wy) ** 2)
+        deviations.append((best[0] - wx) * nx + (best[1] - wy) * ny)
+    return deviations
+
+
+_SIZE_CODE = {"light": 1.6, "medium": 1.0, "heavy": 0.7}
+
+
+def extract_features(flight: SimulatedFlight) -> FlightFeatures:
+    """Build the enriched-reference-point view of a simulated flight."""
+    plan = flight.plan
+    deviations = signed_waypoint_deviations(flight)
+    hour = (plan.scheduled_departure / 3600.0) % 24.0
+    size_code = _SIZE_CODE.get(flight.aircraft.size_class, 1.0)
+    points = []
+    for wp, crosswind in zip(plan.waypoints, flight.crosswinds_at_waypoints):
+        points.append(
+            EnrichedPoint(
+                lon=wp.lon,
+                lat=wp.lat,
+                alt=wp.alt_m,
+                t=plan.scheduled_departure,
+                covariates=(crosswind, size_code, hour),
+            )
+        )
+    return FlightFeatures(
+        flight_id=plan.flight_id,
+        route_key=f"{plan.departure.code}-{plan.arrival.code}",
+        variant=plan.route_variant,
+        points=tuple(points),
+        deviations_m=tuple(deviations),
+        size_class=flight.aircraft.size_class,
+        hour_of_day=hour,
+    )
+
+
+def features_dataset(flights: list[SimulatedFlight]) -> list[FlightFeatures]:
+    """Extract features for a whole flight corpus."""
+    return [extract_features(f) for f in flights]

@@ -1,0 +1,96 @@
+"""Error-feedback modes for online future-location prediction (Section 5).
+
+The paper describes FLP as "inherently dynamic and continuously
+adaptive, exploiting measured (**reactive** mode) or predicted
+(**proactive** mode) error as feedback". This module wraps any online
+predictor with that loop:
+
+* **reactive** — each time a new fix arrives, the previous 1-step
+  prediction is scored against it; an exponentially-weighted mean of
+  the observed error *vector* is maintained and added to subsequent
+  predictions (a bias correction that adapts as fast as the EWMA).
+* **proactive** — the same correction, but the error vector applied at
+  look-ahead step ``k`` is the 1-step error scaled by ``k`` (the
+  predicted accumulation of the current bias), so long horizons are
+  corrected before their errors are ever observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geo import LocalProjection, PositionFix
+
+from .evaluation import OnlinePredictor
+from .rmf import PredictedPoint
+
+
+@dataclass
+class FeedbackStats:
+    """What the feedback loop has learned so far."""
+
+    corrections_applied: int = 0
+    bias_east_m: float = 0.0
+    bias_north_m: float = 0.0
+
+
+class ErrorFeedbackPredictor:
+    """Wrap an online FLP predictor with reactive/proactive error feedback."""
+
+    def __init__(self, inner: OnlinePredictor, mode: str = "reactive", alpha: float = 0.3):
+        if mode not in ("reactive", "proactive"):
+            raise ValueError("mode must be 'reactive' or 'proactive'")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.inner = inner
+        self.mode = mode
+        self.alpha = alpha
+        self.name = f"{inner.name}+{mode}"
+        self._pending: PredictedPoint | None = None   # last 1-step prediction
+        self._bias_e = 0.0
+        self._bias_n = 0.0
+        self.stats = FeedbackStats()
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self._pending = None
+        self._bias_e = 0.0
+        self._bias_n = 0.0
+        self.stats = FeedbackStats()
+
+    def ready(self) -> bool:
+        return self.inner.ready()
+
+    def observe(self, fix: PositionFix) -> None:
+        # Score the previous 1-step prediction against this actual fix.
+        if self._pending is not None:
+            proj = LocalProjection(fix.lon, fix.lat)
+            pe, pn = proj.to_xy(self._pending.lon, self._pending.lat)
+            # Error vector = actual - predicted (what must be *added* to future
+            # predictions to land on the truth).
+            err_e, err_n = -pe, -pn
+            self._bias_e = (1.0 - self.alpha) * self._bias_e + self.alpha * err_e
+            self._bias_n = (1.0 - self.alpha) * self._bias_n + self.alpha * err_n
+            self.stats.bias_east_m = self._bias_e
+            self.stats.bias_north_m = self._bias_n
+        self.inner.observe(fix)
+        # Stage the next 1-step prediction for scoring at the next observe.
+        self._pending = None
+        if self.inner.ready():
+            try:
+                self._pending = self.inner.predict(1)[0]
+            except RuntimeError:
+                self._pending = None
+
+    def predict(self, k: int, step_s: float | None = None) -> list[PredictedPoint]:
+        raw = self.inner.predict(k, step_s=step_s)
+        if not raw:
+            return raw
+        corrected: list[PredictedPoint] = []
+        for step, point in enumerate(raw, start=1):
+            scale = float(step) if self.mode == "proactive" else 1.0
+            proj = LocalProjection(point.lon, point.lat)
+            lon, lat = proj.to_lonlat(self._bias_e * scale, self._bias_n * scale)
+            corrected.append(PredictedPoint(point.t, lon, lat, point.alt))
+            self.stats.corrections_applied += 1
+        return corrected

@@ -1,0 +1,146 @@
+"""Data connectors (Section 4.2.3, component (a)).
+
+A connector attaches to a data source and yields field dictionaries,
+optionally applying basic cleaning, value computation/conversion, simple
+filters, or generating values not explicitly in the source (e.g.
+extracting the WKT of a shapefile geometry). Its output feeds the
+triple generators.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+#: A transformation applied to each record (may return None to drop it).
+RecordTransform = Callable[[dict[str, Any]], dict[str, Any] | None]
+
+
+@dataclass
+class ConnectorStats:
+    """What the connector saw and did."""
+
+    records_in: int = 0
+    records_out: int = 0
+    dropped: int = 0
+
+
+class DataConnector:
+    """Base connector: pulls raw records, applies filters/derivations in order."""
+
+    def __init__(
+        self,
+        filters: Iterable[Callable[[Mapping[str, Any]], bool]] = (),
+        derivations: Iterable[tuple[str, Callable[[Mapping[str, Any]], Any]]] = (),
+        transforms: Iterable[RecordTransform] = (),
+    ):
+        self.filters = list(filters)
+        self.derivations = list(derivations)
+        self.transforms = list(transforms)
+        self.stats = ConnectorStats()
+
+    def _raw_records(self) -> Iterator[dict[str, Any]]:
+        raise NotImplementedError
+
+    def records(self) -> Iterator[dict[str, Any]]:
+        """The cleaned, derived, filtered record stream."""
+        for raw in self._raw_records():
+            self.stats.records_in += 1
+            record: dict[str, Any] | None = dict(raw)
+            for transform in self.transforms:
+                record = transform(record)
+                if record is None:
+                    break
+            if record is None:
+                self.stats.dropped += 1
+                continue
+            if not all(f(record) for f in self.filters):
+                self.stats.dropped += 1
+                continue
+            for name, derive in self.derivations:
+                record[name] = derive(record)
+            self.stats.records_out += 1
+            yield record
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return self.records()
+
+
+class IterableConnector(DataConnector):
+    """Connector over any in-memory iterable of dict-like records."""
+
+    def __init__(self, source: Iterable[Mapping[str, Any]], **kwargs):
+        super().__init__(**kwargs)
+        self._source = source
+
+    def _raw_records(self) -> Iterator[dict[str, Any]]:
+        for item in self._source:
+            yield dict(item)
+
+
+class CSVConnector(DataConnector):
+    """Connector over CSV text lines (header row required)."""
+
+    def __init__(self, lines: Iterable[str], delimiter: str = ",", **kwargs):
+        super().__init__(**kwargs)
+        self._lines = lines
+        self._delimiter = delimiter
+
+    def _raw_records(self) -> Iterator[dict[str, Any]]:
+        reader = csv.DictReader(iter(self._lines), delimiter=self._delimiter)
+        for row in reader:
+            yield dict(row)
+
+
+class JSONLinesConnector(DataConnector):
+    """Connector over newline-delimited JSON messages (the AIS stream format)."""
+
+    def __init__(self, lines: Iterable[str], skip_malformed: bool = True, **kwargs):
+        super().__init__(**kwargs)
+        self._lines = lines
+        self._skip_malformed = skip_malformed
+
+    def _raw_records(self) -> Iterator[dict[str, Any]]:
+        for line in self._lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                if self._skip_malformed:
+                    self.stats.dropped += 1
+                    continue
+                raise
+            if isinstance(obj, dict):
+                yield obj
+            elif self._skip_malformed:
+                self.stats.dropped += 1
+            else:
+                raise ValueError(f"JSON line is not an object: {line[:60]!r}")
+
+
+def numeric(*names: str) -> RecordTransform:
+    """A transform converting the named fields to float (drop on failure)."""
+
+    def transform(record: dict[str, Any]) -> dict[str, Any] | None:
+        for name in names:
+            if name in record and record[name] is not None:
+                try:
+                    record[name] = float(record[name])
+                except (TypeError, ValueError):
+                    return None
+        return record
+
+    return transform
+
+
+def require(*names: str) -> Callable[[Mapping[str, Any]], bool]:
+    """A filter requiring the named fields to be present and non-null."""
+
+    def check(record: Mapping[str, Any]) -> bool:
+        return all(record.get(name) is not None for name in names)
+
+    return check

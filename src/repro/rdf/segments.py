@@ -1,0 +1,126 @@
+"""Semantic trajectory segmentation (Figure 3 of the paper).
+
+The datAcron ontology represents a trajectory at several levels: the
+``Trajectory`` is segmented into ``TrajectoryParts`` — "each revealing
+specific behaviour, event, goal, activity" — which in turn enclose
+``SemanticNodes`` (the critical points). This module derives that
+structure from a synopsis: parts are cut at the natural behavioural
+boundaries (stops and communication gaps), each part is labelled with
+its behaviour (``voyage``, ``stopped``, ``gap``), and the whole
+hierarchy is emitted as ontology triples linked with ``dtc:hasPart`` /
+``dtc:encloses``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..synopses import CriticalPoint
+
+from .terms import IRI, Literal, Triple
+from .vocabulary import A, VOC, entity_iri, node_iri
+
+
+@dataclass(frozen=True, slots=True)
+class TrajectoryPart:
+    """One behavioural segment of a trajectory."""
+
+    part_id: str
+    entity_id: str
+    behaviour: str                      # voyage | stopped | gap
+    points: tuple[CriticalPoint, ...]
+
+    @property
+    def t_start(self) -> float:
+        return self.points[0].t
+
+    @property
+    def t_end(self) -> float:
+        return self.points[-1].t
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+#: Critical-point kinds that open a new behavioural segment.
+_BOUNDARY_OPENERS = {
+    "stop_start": "stopped",
+    "gap_start": "gap",
+    "stop_end": "voyage",
+    "gap_end": "voyage",
+}
+
+
+def segment_trajectory(points: Sequence[CriticalPoint]) -> list[TrajectoryPart]:
+    """Cut one entity's time-ordered synopsis into behavioural parts.
+
+    The segmentation follows the stops-and-moves model the ontology
+    generalizes: a ``stop_start``/``gap_start`` closes the current part
+    and opens a ``stopped``/``gap`` part; the matching ``*_end`` closes
+    it and resumes a ``voyage`` part. Boundary points belong to *both*
+    adjacent parts (they are the shared articulation nodes).
+    """
+    ordered = sorted(points, key=lambda cp: cp.t)
+    if not ordered:
+        return []
+    entity_id = ordered[0].entity_id
+    if any(cp.entity_id != entity_id for cp in ordered):
+        raise ValueError("segment_trajectory expects a single entity's points")
+    parts: list[TrajectoryPart] = []
+    current: list[CriticalPoint] = []
+    behaviour = "voyage"
+
+    def close(next_behaviour: str, shared: CriticalPoint | None) -> None:
+        nonlocal current, behaviour
+        if current:
+            parts.append(
+                TrajectoryPart(
+                    part_id=f"{entity_id}/part-{len(parts)}",
+                    entity_id=entity_id,
+                    behaviour=behaviour,
+                    points=tuple(current),
+                )
+            )
+        current = [shared] if shared is not None else []
+        behaviour = next_behaviour
+
+    for cp in ordered:
+        opener = _BOUNDARY_OPENERS.get(cp.kind)
+        if opener is not None and opener != behaviour:
+            current.append(cp)
+            close(opener, shared=cp)
+        else:
+            current.append(cp)
+    close("voyage", shared=None)
+    return parts
+
+
+def segments_by_entity(points: Iterable[CriticalPoint]) -> dict[str, list[TrajectoryPart]]:
+    """Segment a multi-entity synopsis corpus."""
+    buckets: dict[str, list[CriticalPoint]] = {}
+    for cp in points:
+        buckets.setdefault(cp.entity_id, []).append(cp)
+    return {eid: segment_trajectory(pts) for eid, pts in buckets.items()}
+
+
+def part_iri(part: TrajectoryPart) -> IRI:
+    return entity_iri("part", part.part_id)
+
+
+def segmentation_triples(parts: Iterable[TrajectoryPart]) -> Iterator[Triple]:
+    """The Figure-3 structural triples of a segmentation.
+
+    Emits, per part: its type, behaviour label, temporal extent, the
+    ``dtc:hasPart`` link from its trajectory, and ``dtc:encloses`` links
+    to each of its semantic nodes.
+    """
+    for part in parts:
+        part_node = part_iri(part)
+        trajectory = entity_iri("trajectory", part.entity_id)
+        yield Triple(part_node, A, VOC.TrajectoryPart)
+        yield Triple(part_node, VOC.eventType, Literal.of(part.behaviour))
+        yield Triple(part_node, VOC.timestamp, Literal.of(part.t_start))
+        yield Triple(trajectory, VOC.hasPart, part_node)
+        for cp in part.points:
+            yield Triple(part_node, VOC.encloses, node_iri(cp.entity_id, cp.t))

@@ -1,0 +1,123 @@
+"""Namespaces and the datAcron ontology vocabulary (Section 4.1).
+
+The datAcron ontology represents semantic trajectories at varying levels
+of spatio-temporal analysis: raw positions, semantic nodes (critical
+points), trajectory parts, whole trajectories, and the events that occur
+on them — aligned with DUL, GeoSPARQL Simple Features and SSN. This
+module defines the subset of classes and properties the paper's
+components exchange (Figure 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from .terms import IRI
+
+
+class Namespace:
+    """A convenience IRI factory: ``ns.term`` and ``ns['term']``."""
+
+    def __init__(self, base: str):
+        self._base = base
+
+    @property
+    def base(self) -> str:
+        return self._base
+
+    def __getattr__(self, name: str) -> IRI:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return IRI(self._base + name)
+
+    def __getitem__(self, name: str) -> IRI:
+        return IRI(self._base + name)
+
+    def __repr__(self) -> str:
+        return f"Namespace({self._base!r})"
+
+
+#: The datAcron ontology namespace.
+DTC = Namespace("http://www.datacron-project.eu/datAcron#")
+#: DOLCE+DnS Ultralite (events).
+DUL = Namespace("http://www.ontologydesignpatterns.org/ont/dul/DUL.owl#")
+#: GeoSPARQL.
+GEO = Namespace("http://www.opengis.net/ont/geosparql#")
+#: Simple Features geometry classes.
+SF = Namespace("http://www.opengis.net/ont/sf#")
+#: SSN/SOSA observations (weather).
+SOSA = Namespace("http://www.w3.org/ns/sosa/")
+#: RDF / RDFS built-ins.
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+
+#: rdf:type shorthand.
+A = RDF.type
+
+
+class DatacronVocabulary:
+    """The classes and properties used across the reproduction.
+
+    Grouped here (rather than scattered as string constants) so tests can
+    assert that every RDFizer emits only vocabulary terms.
+    """
+
+    # Classes (Figure 3 of the paper).
+    Trajectory = DTC.Trajectory
+    TrajectoryPart = DTC.TrajectoryPart
+    SemanticNode = DTC.SemanticNode
+    RawPosition = DTC.RawPosition
+    MovingObject = DTC.MovingObject
+    Vessel = DTC.Vessel
+    Aircraft = DTC.Aircraft
+    Event = DUL["Event"]
+    LowLevelEvent = DTC.LowLevelEvent
+    Region = DTC.Region
+    Port = DTC.Port
+    WeatherCondition = DTC.WeatherCondition
+    Geometry = SF.Geometry
+    Point = SF.Point
+    Polygon = SF.Polygon
+
+    # Object properties.
+    hasPart = DTC.hasPart
+    ofMovingObject = DTC.ofMovingObject
+    hasSemanticNode = DTC.hasSemanticNode
+    encloses = DTC.encloses
+    occurs = DTC.occurs
+    hasGeometry = GEO.hasGeometry
+    within = DUL.isLocationOf      # see note below: within/nearTo link predicates
+    hasWeather = DTC.hasWeatherCondition
+
+    # Link-discovery relation predicates (Section 4.2.4 reports dul:within
+    # and geosparql:nearTo counts).
+    dul_within = DUL.within
+    nearTo = GEO.nearTo
+
+    # Datatype properties.
+    asWKT = GEO.asWKT
+    timestamp = DTC.hasTimestamp
+    speed = DTC.reportedSpeed
+    heading = DTC.reportedHeading
+    altitude = DTC.reportedAltitude
+    verticalRate = DTC.verticalRate
+    eventType = DTC.eventType
+    mmsi = DTC.hasMMSI
+    icao24 = DTC.hasICAO24
+    regionKind = DTC.regionKind
+    label = RDFS.label
+    windU = DTC.windU
+    windV = DTC.windV
+    waveHeight = DTC.waveHeight
+    visibility = DTC.visibility
+
+
+VOC = DatacronVocabulary
+
+
+def entity_iri(kind: str, identifier: str) -> IRI:
+    """Mint the IRI of a domain entity (vessel, trajectory, node, ...)."""
+    return IRI(f"{DTC.base}{kind}/{identifier}")
+
+
+def node_iri(entity_id: str, t: float) -> IRI:
+    """Mint the IRI of a semantic node of an entity at a point in time."""
+    return IRI(f"{DTC.base}node/{entity_id}/{t:.3f}")

@@ -1,0 +1,162 @@
+"""An in-process message broker: the Kafka surrogate.
+
+datAcron components communicate through Apache Kafka topics
+(Section 3). This module reproduces the semantics the architecture
+relies on — named topics, partitions by key, multiple independent
+consumer groups with their own offsets, bounded retention — in a
+single deterministic process, so the integrated pipeline (repro.core)
+can be wired exactly like Figure 2 and tested end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .record import Record, StreamStats
+
+
+@dataclass(frozen=True, slots=True)
+class TopicMessage:
+    """A record as stored in a topic partition, with its offset."""
+
+    offset: int
+    record: Record
+
+
+class Topic:
+    """A named, partitioned, append-only log of records."""
+
+    def __init__(self, name: str, partitions: int = 1, retention: int | None = None):
+        if partitions < 1:
+            raise ValueError("a topic needs at least one partition")
+        self.name = name
+        self.partitions = partitions
+        self.retention = retention
+        self._logs: list[list[TopicMessage]] = [[] for _ in range(partitions)]
+        self._base_offsets = [0] * partitions  # offset of the first retained message
+        self.stats = StreamStats()
+
+    def __repr__(self) -> str:
+        return f"Topic({self.name!r}, partitions={self.partitions}, size={self.size()})"
+
+    def partition_for(self, record: Record) -> int:
+        """Deterministic partition assignment: hash of key, else round-robin by count."""
+        if record.key is not None:
+            return _stable_hash(record.key) % self.partitions
+        return self.stats.records_in % self.partitions
+
+    def publish(self, record: Record) -> tuple[int, int]:
+        """Append a record; returns (partition, offset)."""
+        part = self.partition_for(record)
+        self.stats.saw_record(record)
+        log = self._logs[part]
+        offset = self._base_offsets[part] + len(log)
+        log.append(TopicMessage(offset, record))
+        if self.retention is not None and len(log) > self.retention:
+            overflow = len(log) - self.retention
+            del log[:overflow]
+            self._base_offsets[part] += overflow
+            self.stats.dropped += overflow
+        return part, offset
+
+    def size(self) -> int:
+        """Total retained messages across partitions."""
+        return sum(len(log) for log in self._logs)
+
+    def end_offsets(self) -> list[int]:
+        """The next-to-be-assigned offset of each partition."""
+        return [base + len(log) for base, log in zip(self._base_offsets, self._logs)]
+
+    def read(self, partition: int, from_offset: int, max_messages: int | None = None) -> list[TopicMessage]:
+        """Read messages of a partition starting at ``from_offset``."""
+        if not 0 <= partition < self.partitions:
+            raise ValueError(f"partition {partition} out of range")
+        log = self._logs[partition]
+        base = self._base_offsets[partition]
+        start = max(0, from_offset - base)
+        end = len(log) if max_messages is None else min(len(log), start + max_messages)
+        return log[start:end]
+
+
+class Consumer:
+    """A stateful reader of a topic within a consumer group.
+
+    Each group tracks its own per-partition offsets, so the same topic can
+    feed both the real-time layer and the batch layer independently —
+    exactly how the paper's architecture re-reads enriched streams.
+    """
+
+    def __init__(self, topic: Topic, group: str):
+        self.topic = topic
+        self.group = group
+        self._offsets = [0] * topic.partitions
+
+    def poll(self, max_messages: int | None = None) -> list[Record]:
+        """Fetch and acknowledge the next batch, interleaving partitions in offset order."""
+        fetched: list[TopicMessage] = []
+        budget = max_messages
+        for part in range(self.topic.partitions):
+            msgs = self.topic.read(part, self._offsets[part], budget)
+            if msgs:
+                self._offsets[part] = msgs[-1].offset + 1
+                fetched.extend(msgs)
+                if budget is not None:
+                    budget -= len(msgs)
+                    if budget <= 0:
+                        break
+        fetched.sort(key=lambda m: (m.record.t, m.offset))
+        return [m.record for m in fetched]
+
+    def lag(self) -> int:
+        """Messages published but not yet consumed by this group."""
+        return sum(max(0, end - off) for end, off in zip(self.topic.end_offsets(), self._offsets))
+
+    def seek_to_beginning(self) -> None:
+        """Rewind to the earliest retained offsets (batch-layer replay)."""
+        ends = self.topic.end_offsets()
+        self._offsets = [ends[p] - len(self.topic.read(p, 0)) for p in range(self.topic.partitions)]
+
+
+class Broker:
+    """The registry of topics. One per integrated system instance."""
+
+    def __init__(self):
+        self._topics: dict[str, Topic] = {}
+
+    def create_topic(self, name: str, partitions: int = 1, retention: int | None = None) -> Topic:
+        """Create a topic; re-creating an existing name is an error."""
+        if name in self._topics:
+            raise ValueError(f"topic {name!r} already exists")
+        topic = Topic(name, partitions=partitions, retention=retention)
+        self._topics[name] = topic
+        return topic
+
+    def topic(self, name: str) -> Topic:
+        """Look up an existing topic."""
+        try:
+            return self._topics[name]
+        except KeyError:
+            raise KeyError(f"unknown topic {name!r}; create it first") from None
+
+    def get_or_create(self, name: str, partitions: int = 1) -> Topic:
+        return self._topics.get(name) or self.create_topic(name, partitions=partitions)
+
+    def consumer(self, topic_name: str, group: str) -> Consumer:
+        """Open a consumer for ``group`` on the named topic."""
+        return Consumer(self.topic(topic_name), group)
+
+    def topics(self) -> Iterator[Topic]:
+        return iter(self._topics.values())
+
+    def publish(self, topic_name: str, record: Record) -> None:
+        """Convenience: publish a record to a (pre-created) topic."""
+        self.topic(topic_name).publish(record)
+
+
+def _stable_hash(key: str) -> int:
+    """A deterministic string hash (Python's builtin hash is salted per process)."""
+    h = 2166136261
+    for ch in key.encode("utf-8"):
+        h = (h ^ ch) * 16777619 % (1 << 32)
+    return h

@@ -1,0 +1,85 @@
+"""Stream enrichment joins.
+
+The datAcron real-time layer enriches the surveillance stream with
+"dynamic and static context information (e.g., weather conditions,
+maritime areas)". This module provides the dataflow primitive for it:
+a temporal lookup join that maintains the latest reference value per
+reference key (fed by a slowly-changing side stream like weather
+updates) and enriches every fact-stream record with the current value
+for its lookup key — the streaming analogue of a dimension-table join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from .operators import Operator
+from .record import Record, StreamElement
+
+
+@dataclass(frozen=True, slots=True)
+class Enriched:
+    """A fact value paired with its looked-up context (None if absent)."""
+
+    value: Any
+    context: Any | None
+    context_age_s: float | None
+
+
+class TemporalLookupJoin(Operator):
+    """Join a fact stream against the latest value of a reference stream.
+
+    Records are discriminated by ``is_reference(value)``: reference records
+    update the lookup table under ``reference_key(value)`` and are absorbed;
+    fact records are emitted as :class:`Enriched` with the latest reference
+    value under ``fact_key(value)`` (or None when nothing has arrived yet
+    or the entry is older than ``max_age_s``).
+
+    Feed it a single time-ordered stream (merge the two sources with
+    :func:`repro.streams.merge_by_time`), which guarantees deterministic
+    "latest value as of the fact's event time" semantics.
+    """
+
+    name = "temporal_lookup_join"
+
+    def __init__(
+        self,
+        is_reference: Callable[[Any], bool],
+        reference_key: Callable[[Any], str],
+        fact_key: Callable[[Any], str],
+        max_age_s: float | None = None,
+    ):
+        super().__init__()
+        if max_age_s is not None and max_age_s <= 0:
+            raise ValueError("max_age_s must be positive (or None)")
+        self.is_reference = is_reference
+        self.reference_key = reference_key
+        self.fact_key = fact_key
+        self.max_age_s = max_age_s
+        self._table: dict[str, tuple[float, Any]] = {}
+        self.facts_enriched = 0
+        self.facts_unmatched = 0
+
+    def on_record(self, record: Record) -> list[StreamElement]:
+        value = record.value
+        if self.is_reference(value):
+            self._table[self.reference_key(value)] = (record.t, value)
+            return []
+        entry = self._table.get(self.fact_key(value))
+        context = None
+        age: float | None = None
+        if entry is not None:
+            ref_t, ref_value = entry
+            age = record.t - ref_t
+            if self.max_age_s is None or age <= self.max_age_s:
+                context = ref_value
+        if context is None:
+            self.facts_unmatched += 1
+        else:
+            self.facts_enriched += 1
+        return [record.with_value(Enriched(value, context, age if context is not None else None))]
+
+    def table_size(self) -> int:
+        """Distinct reference keys currently held."""
+        return len(self._table)

@@ -1,0 +1,162 @@
+"""Event-time windowing driven by watermarks.
+
+The low-level event detector and the VA time-series backends aggregate
+streams over event-time windows (e.g. the hourly vessel counts of
+Figure 10). Windows close when a watermark passes their end — the
+standard Flink semantics — so results are deterministic regardless of
+arrival interleaving, and late records (behind the watermark) are
+counted and dropped.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from .operators import Operator
+from .record import Record, StreamElement, Watermark
+
+
+@dataclass(frozen=True, slots=True)
+class WindowResult:
+    """The aggregate emitted when a window closes."""
+
+    key: str | None
+    start: float
+    end: float
+    value: Any
+
+
+class TumblingWindow(Operator):
+    """Fixed-size, non-overlapping event-time windows, per key.
+
+    ``aggregate(values) -> value`` runs when the window closes. Window
+    boundaries are aligned to multiples of ``size_s`` (plus ``offset_s``).
+    """
+
+    name = "tumbling_window"
+
+    def __init__(
+        self,
+        size_s: float,
+        aggregate: Callable[[list[Any]], Any],
+        offset_s: float = 0.0,
+        allowed_lateness_s: float = 0.0,
+    ):
+        super().__init__()
+        if size_s <= 0:
+            raise ValueError("window size must be positive")
+        self.size_s = size_s
+        self.offset_s = offset_s
+        self.aggregate = aggregate
+        self.allowed_lateness_s = allowed_lateness_s
+        # (key, window_start) -> buffered values
+        self._buffers: dict[tuple[str | None, float], list[Any]] = {}
+        self.late_records = 0
+        self._watermark = -math.inf
+
+    def window_start(self, t: float) -> float:
+        return math.floor((t - self.offset_s) / self.size_s) * self.size_s + self.offset_s
+
+    def on_record(self, record: Record) -> list[StreamElement]:
+        start = self.window_start(record.t)
+        if start + self.size_s + self.allowed_lateness_s <= self._watermark:
+            self.late_records += 1
+            self.stats.dropped += 1
+            return []
+        self._buffers.setdefault((record.key, start), []).append(record.value)
+        return []
+
+    def on_watermark(self, watermark: Watermark) -> list[StreamElement]:
+        self._watermark = max(self._watermark, watermark.time)
+        return self._fire(lambda start: start + self.size_s + self.allowed_lateness_s <= self._watermark) + [watermark]
+
+    def flush(self) -> list[StreamElement]:
+        """Close every remaining window (end of stream)."""
+        return self._fire(lambda start: True)
+
+    def _fire(self, should_close: Callable[[float], bool]) -> list[StreamElement]:
+        ready = sorted(
+            (k for k in self._buffers if should_close(k[1])),
+            key=lambda k: (k[1], k[0] or ""),
+        )
+        out: list[StreamElement] = []
+        for key, start in ready:
+            values = self._buffers.pop((key, start))
+            result = WindowResult(key, start, start + self.size_s, self.aggregate(values))
+            out.append(Record(t=start + self.size_s, value=result, key=key))
+            self.stats.emitted()
+        return out
+
+
+class SlidingWindow(Operator):
+    """Overlapping event-time windows of ``size_s`` sliding every ``slide_s``."""
+
+    name = "sliding_window"
+
+    def __init__(self, size_s: float, slide_s: float, aggregate: Callable[[list[Any]], Any]):
+        super().__init__()
+        if size_s <= 0 or slide_s <= 0:
+            raise ValueError("window size and slide must be positive")
+        if slide_s > size_s:
+            raise ValueError("slide larger than size leaves gaps; use a TumblingWindow")
+        self.size_s = size_s
+        self.slide_s = slide_s
+        self.aggregate = aggregate
+        self._buffers: dict[tuple[str | None, float], list[Any]] = {}
+        self._watermark = -math.inf
+        self.late_records = 0
+
+    def _starts_for(self, t: float) -> Iterable[float]:
+        """All window starts whose [start, start+size) contains t."""
+        last_start = math.floor(t / self.slide_s) * self.slide_s
+        start = last_start
+        while start > t - self.size_s:
+            yield start
+            start -= self.slide_s
+
+    def on_record(self, record: Record) -> list[StreamElement]:
+        emitted_any = False
+        for start in self._starts_for(record.t):
+            if start + self.size_s <= self._watermark:
+                continue
+            self._buffers.setdefault((record.key, start), []).append(record.value)
+            emitted_any = True
+        if not emitted_any:
+            self.late_records += 1
+            self.stats.dropped += 1
+        return []
+
+    def on_watermark(self, watermark: Watermark) -> list[StreamElement]:
+        self._watermark = max(self._watermark, watermark.time)
+        ready = sorted(
+            (k for k in self._buffers if k[1] + self.size_s <= self._watermark),
+            key=lambda k: (k[1], k[0] or ""),
+        )
+        out: list[StreamElement] = []
+        for key, start in ready:
+            values = self._buffers.pop((key, start))
+            result = WindowResult(key, start, start + self.size_s, self.aggregate(values))
+            out.append(Record(t=start + self.size_s, value=result, key=key))
+            self.stats.emitted()
+        out.append(watermark)
+        return out
+
+    def flush(self) -> list[StreamElement]:
+        ready = sorted(self._buffers, key=lambda k: (k[1], k[0] or ""))
+        out: list[StreamElement] = []
+        for key, start in ready:
+            values = self._buffers.pop((key, start))
+            out.append(Record(t=start + self.size_s, value=WindowResult(key, start, start + self.size_s, self.aggregate(values)), key=key))
+        return out
+
+
+def count_aggregate(values: list[Any]) -> int:
+    """The most common window aggregate: element count."""
+    return len(values)
+
+
+def mean_aggregate(values: list[float]) -> float:
+    """Arithmetic mean of numeric window contents (nan for empty)."""
+    return sum(values) / len(values) if values else math.nan

@@ -1,0 +1,26 @@
+"""Synopses Generator (S5): streaming trajectory compression to critical points."""
+
+from .config import AVIATION_CONFIG, MARITIME_CONFIG, SynopsesConfig
+from .crossstream import CrossStreamFuser, FusionStats, SourceSpec, degrade_stream
+from .detector import CRITICAL_TYPES, CriticalPoint, SynopsesGenerator, make_synopses_operator
+from .metrics import SynopsesRunResult, run_synopses
+from .reconstruct import ReconstructionError, reconstruction_error, synopsis_trajectory
+
+__all__ = [
+    "AVIATION_CONFIG",
+    "CRITICAL_TYPES",
+    "CrossStreamFuser",
+    "FusionStats",
+    "CriticalPoint",
+    "MARITIME_CONFIG",
+    "ReconstructionError",
+    "SynopsesConfig",
+    "SynopsesGenerator",
+    "SourceSpec",
+    "SynopsesRunResult",
+    "degrade_stream",
+    "make_synopses_operator",
+    "reconstruction_error",
+    "run_synopses",
+    "synopsis_trajectory",
+]

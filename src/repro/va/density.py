@@ -1,0 +1,78 @@
+"""Spatial density surfaces for trajectory summarization (Figure 10 bottom).
+
+The dynamic summaries of masked trajectory subsets are spatial densities:
+grid-cell visit counts, normalized and comparable between the in-mask and
+out-of-mask subsets. Kept as plain numpy arrays so VA workflows and the
+text dashboard can render or difference them freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..geo import BBox, EquiGrid, PositionFix
+
+
+class DensityGrid:
+    """Per-cell visit counts of position samples."""
+
+    def __init__(self, bbox: BBox, cols: int = 60, rows: int = 40):
+        self.grid = EquiGrid(bbox, cols, rows)
+        self.counts = np.zeros((rows, cols), dtype=np.int64)
+        self.samples = 0
+
+    def add(self, lon: float, lat: float) -> None:
+        col, row = self.grid.locate(lon, lat)
+        self.counts[row, col] += 1
+        self.samples += 1
+
+    def add_fixes(self, fixes: Iterable[PositionFix]) -> None:
+        for fix in fixes:
+            self.add(fix.lon, fix.lat)
+
+    def normalized(self) -> np.ndarray:
+        """Counts as a probability surface (all-zeros if empty)."""
+        if self.samples == 0:
+            return self.counts.astype(float)
+        return self.counts / float(self.samples)
+
+    def occupied_cells(self) -> int:
+        return int((self.counts > 0).sum())
+
+    def peak_cell(self) -> tuple[int, int, int]:
+        """(row, col, count) of the densest cell."""
+        idx = int(self.counts.argmax())
+        row, col = divmod(idx, self.grid.cols)
+        return row, col, int(self.counts[row, col])
+
+
+@dataclass(frozen=True, slots=True)
+class DensityComparison:
+    """How two density surfaces differ (in-mask vs out-of-mask, Figure 10)."""
+
+    l1_difference: float       # total variation x2 of the normalized surfaces
+    correlation: float         # Pearson correlation of the raw counts
+    only_in_a: int             # cells visited only by A
+    only_in_b: int             # cells visited only by B
+
+
+def compare_densities(a: DensityGrid, b: DensityGrid) -> DensityComparison:
+    """Quantify the difference between two densities over the same grid."""
+    if a.counts.shape != b.counts.shape:
+        raise ValueError("density grids have different shapes")
+    na, nb = a.normalized(), b.normalized()
+    l1 = float(np.abs(na - nb).sum())
+    flat_a, flat_b = a.counts.ravel().astype(float), b.counts.ravel().astype(float)
+    if flat_a.std() > 0 and flat_b.std() > 0:
+        corr = float(np.corrcoef(flat_a, flat_b)[0, 1])
+    else:
+        corr = 0.0
+    return DensityComparison(
+        l1_difference=l1,
+        correlation=corr,
+        only_in_a=int(((a.counts > 0) & (b.counts == 0)).sum()),
+        only_in_b=int(((b.counts > 0) & (a.counts == 0)).sum()),
+    )

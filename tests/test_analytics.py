@@ -1,0 +1,132 @@
+"""Tests for sequential pattern mining and mobility motifs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics import (
+    critical_point_sequences,
+    maximal_patterns,
+    mine_mobility_patterns,
+    mine_sequential_patterns,
+)
+from repro.geo import PositionFix
+from repro.synopses import CriticalPoint
+
+
+class TestPrefixSpan:
+    DB = [
+        ["a", "b", "c"],
+        ["a", "c"],
+        ["a", "b", "c", "d"],
+        ["b", "d"],
+    ]
+
+    def test_single_symbols(self):
+        patterns = {p.sequence: p.support for p in mine_sequential_patterns(self.DB, min_support=2)}
+        assert patterns[("a",)] == 3
+        assert patterns[("b",)] == 3
+        assert patterns[("c",)] == 3
+        assert patterns[("d",)] == 2
+
+    def test_subsequence_with_gap(self):
+        patterns = {p.sequence: p.support for p in mine_sequential_patterns(self.DB, min_support=2)}
+        # "a ... c" appears in 3 sequences (gap allowed in the first/third).
+        assert patterns[("a", "c")] == 3
+
+    def test_min_support_prunes(self):
+        patterns = {p.sequence for p in mine_sequential_patterns(self.DB, min_support=4)}
+        assert patterns == set()  # nothing appears in all four
+
+    def test_order_matters(self):
+        patterns = {p.sequence for p in mine_sequential_patterns(self.DB, min_support=2)}
+        assert ("c", "a") not in patterns
+
+    def test_max_length(self):
+        patterns = mine_sequential_patterns(self.DB, min_support=2, max_length=1)
+        assert all(len(p) == 1 for p in patterns)
+
+    def test_sorted_by_support(self):
+        patterns = mine_sequential_patterns(self.DB, min_support=2)
+        supports = [p.support for p in patterns]
+        assert supports == sorted(supports, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mine_sequential_patterns(self.DB, min_support=0)
+        with pytest.raises(ValueError):
+            mine_sequential_patterns(self.DB, min_support=1, max_length=0)
+
+    def test_maximal_filters_contained(self):
+        patterns = mine_sequential_patterns(self.DB, min_support=2)
+        maximal = maximal_patterns(patterns)
+        sequences = {p.sequence for p in maximal}
+        # ("a",) support 3 is contained in ("a","c") support 3 -> dominated.
+        assert ("a",) not in sequences
+        assert ("a", "b", "c") in sequences
+
+    @given(st.lists(st.lists(st.sampled_from("abc"), max_size=6), min_size=1, max_size=8))
+    @settings(max_examples=60)
+    def test_support_counts_correct_property(self, db):
+        """Every reported support must equal the brute-force count."""
+
+        def contains(seq, pat):
+            it = iter(seq)
+            return all(any(x == y for y in it) for x in pat)
+
+        for pattern in mine_sequential_patterns(db, min_support=1, max_length=3):
+            brute = sum(1 for seq in db if contains(seq, pattern.sequence))
+            assert pattern.support == brute
+
+
+def cp(t, kind, eid="v1"):
+    return CriticalPoint(PositionFix(eid, t, 0.0, 40.0), kind)
+
+
+class TestMobilityPatterns:
+    def port_approach_corpus(self):
+        """Five vessels, four sharing the turn -> slow -> stop approach motif."""
+        points = []
+        for i in range(4):
+            eid = f"v{i}"
+            points += [cp(0.0, "start", eid), cp(100.0, "turn", eid),
+                       cp(200.0, "slow_start", eid), cp(300.0, "stop_start", eid),
+                       cp(400.0, "end", eid)]
+        points += [cp(0.0, "start", "odd"), cp(50.0, "gap_start", "odd"), cp(500.0, "end", "odd")]
+        return points
+
+    def test_sequences_grouped_and_ordered(self):
+        sequences = critical_point_sequences(self.port_approach_corpus())
+        assert sequences["v0"] == ["start", "turn", "slow_start", "stop_start", "end"]
+        assert len(sequences) == 5
+
+    def test_motif_discovered(self):
+        report = mine_mobility_patterns(self.port_approach_corpus(), min_support_fraction=0.6)
+        assert report.n_trajectories == 5
+        assert report.support_of("turn", "slow_start", "stop_start") == 4
+
+    def test_top_filters_short(self):
+        report = mine_mobility_patterns(self.port_approach_corpus(), min_support_fraction=0.6)
+        top = report.top(n=3, min_length=2)
+        assert all(len(p) >= 2 for p in top)
+
+    def test_empty_corpus(self):
+        report = mine_mobility_patterns([])
+        assert report.n_trajectories == 0
+        assert report.patterns == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mine_mobility_patterns(self.port_approach_corpus(), min_support_fraction=0.0)
+
+    def test_on_simulated_fleet(self):
+        from repro.datasources import AISConfig, AISSimulator
+        from repro.synopses import SynopsesGenerator
+
+        sim = AISSimulator(n_vessels=8, seed=33,
+                           config=AISConfig(report_period_s=20.0, outlier_probability=0.0))
+        gen = SynopsesGenerator()
+        points = list(gen.process_stream(sim.fixes(0.0, 3 * 3600.0))) + gen.flush()
+        report = mine_mobility_patterns(points, min_support_fraction=0.5, max_length=3)
+        assert report.n_trajectories == 8
+        assert report.support_of("start") == 8   # every trajectory begins with start

@@ -1,0 +1,136 @@
+"""Tests for cross-stream surveillance fusion (the paper's stated next step)."""
+
+import pytest
+
+from repro.datasources import AISConfig, AISSimulator
+from repro.geo import PositionFix, group_fixes_by_entity
+from repro.synopses import (
+    CrossStreamFuser,
+    SourceSpec,
+    SynopsesGenerator,
+    degrade_stream,
+    run_synopses,
+)
+
+TERRESTRIAL = SourceSpec("terrestrial", precision_m=10.0)
+SATELLITE = SourceSpec("satellite", precision_m=150.0)
+
+
+def fix(t, lon, lat, eid="v1", source="terrestrial", **kw):
+    return PositionFix(entity_id=eid, t=t, lon=lon, lat=lat, source=source, **kw)
+
+
+def make_fuser(**kw):
+    defaults = dict(dedup_window_s=5.0, max_speed_ms=40.0)
+    defaults.update(kw)
+    return CrossStreamFuser([TERRESTRIAL, SATELLITE], **defaults)
+
+
+class TestFusionBasics:
+    def test_single_stream_passthrough_count(self):
+        fixes = [fix(i * 30.0, i * 0.001, 40.0) for i in range(10)]
+        fuser = make_fuser()
+        out = list(fuser.fuse(fixes))
+        assert len(out) == 10
+        assert fuser.stats.duplicates_merged == 0
+
+    def test_time_ordered_output(self):
+        a = [fix(i * 20.0, i * 0.001, 40.0) for i in range(10)]
+        b = [fix(10.0 + i * 20.0, i * 0.001, 40.0, source="satellite") for i in range(10)]
+        out = list(make_fuser().fuse(a, b))
+        ts = [f.t for f in out]
+        assert ts == sorted(ts)
+
+    def test_duplicates_merged(self):
+        a = [fix(0.0, 1.0, 40.0), fix(60.0, 1.001, 40.0)]
+        b = [fix(1.0, 1.0001, 40.0, source="satellite"), fix(61.0, 1.0011, 40.0, source="satellite")]
+        fuser = make_fuser()
+        out = list(fuser.fuse(a, b))
+        assert len(out) == 2
+        assert fuser.stats.duplicates_merged == 2
+        assert all(f.source == "fused" or f.annotations.get("sources") for f in out)
+
+    def test_precision_weighting_favours_terrestrial(self):
+        """The fused position must sit much closer to the precise source."""
+        a = [fix(0.0, 1.0, 40.0)]                                    # terrestrial at lon 1.0
+        b = [fix(1.0, 1.01, 40.0, source="satellite")]                # satellite ~1.1 km east
+        out = list(make_fuser().fuse(a, b))
+        assert len(out) == 1
+        assert abs(out[0].lon - 1.0) < 0.001   # pulled < 10 % toward the noisy source
+
+    def test_contradiction_dropped(self):
+        a = [fix(0.0, 1.0, 40.0), fix(30.0, 1.002, 40.0)]
+        teleport = [fix(31.0, 2.5, 41.5, source="satellite")]          # ~200 km in 1 s
+        fuser = make_fuser()
+        out = list(fuser.fuse(a, teleport))
+        assert fuser.stats.contradictions_dropped == 1
+        assert all(f.lon < 1.1 for f in out)
+
+    def test_per_entity_isolation(self):
+        a = [fix(0.0, 1.0, 40.0, eid="a"), fix(1.0, 5.0, 42.0, eid="b")]
+        out = list(make_fuser().fuse(a))
+        assert {f.entity_id for f in out} == {"a", "b"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrossStreamFuser([])
+        with pytest.raises(ValueError):
+            CrossStreamFuser([TERRESTRIAL], dedup_window_s=-1.0)
+
+
+class TestDegradeStream:
+    def base(self):
+        return [fix(i * 10.0, i * 0.001, 40.0) for i in range(100)]
+
+    def test_drop_rate(self):
+        out = degrade_stream(self.base(), "satellite", noise_m=0.0, drop_rate=0.5, seed=1)
+        assert 20 < len(out) < 80
+
+    def test_noise_applied(self):
+        out = degrade_stream(self.base(), "satellite", noise_m=200.0, drop_rate=0.0, seed=1)
+        moved = [o.distance_to(b) for o, b in zip(out, self.base())]
+        assert max(moved) > 50.0
+
+    def test_latency_shift(self):
+        out = degrade_stream(self.base(), "satellite", noise_m=0.0, drop_rate=0.0, latency_s=30.0, seed=1)
+        assert out[0].t == 30.0
+
+    def test_source_tag(self):
+        out = degrade_stream(self.base(), "satellite", noise_m=0.0, drop_rate=0.0)
+        assert all(f.source == "satellite" for f in out)
+
+
+class TestEndToEndCoherence:
+    def test_fused_synopsis_better_than_naive_concat(self):
+        """Fusing contradicting sources must not inflate the synopsis.
+
+        Naively concatenating terrestrial + satellite streams doubles the
+        rate and injects noise-driven zigzag, producing spurious critical
+        points; the fuser should yield a synopsis close to the single-source
+        one, with lower reconstruction error than the naive merge.
+        """
+        sim = AISSimulator(
+            n_vessels=4, seed=19,
+            config=AISConfig(report_period_s=20.0, gap_probability_per_hour=0.0, outlier_probability=0.0),
+        )
+        truth = list(sim.fixes(0.0, 2 * 3600.0))
+        terrestrial = degrade_stream(truth, "terrestrial", noise_m=10.0, drop_rate=0.1, seed=2)
+        satellite = degrade_stream(truth, "satellite", noise_m=180.0, drop_rate=0.4, latency_s=2.0, seed=3)
+
+        naive = sorted(terrestrial + satellite, key=lambda f: f.t)
+        fused = list(make_fuser().fuse(terrestrial, satellite))
+
+        naive_result = run_synopses(naive)
+        fused_result = run_synopses(fused)
+        assert fused_result.points_in < naive_result.points_in          # dedup happened
+        assert fused_result.points_out <= naive_result.points_out      # fewer spurious criticals
+
+    def test_fused_stream_feeds_generator(self):
+        fixes = [fix(i * 15.0, i * 0.001, 40.0) for i in range(50)]
+        sat = degrade_stream(fixes, "satellite", noise_m=100.0, drop_rate=0.2, seed=4)
+        fused = list(make_fuser().fuse(fixes, sat))
+        gen = SynopsesGenerator()
+        points = list(gen.process_stream(fused)) + gen.flush()
+        assert points, "fused stream must be consumable by the synopses generator"
+        groups = group_fixes_by_entity(fused)
+        assert set(groups) == {"v1"}

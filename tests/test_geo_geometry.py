@@ -1,0 +1,214 @@
+"""Unit and property tests for repro.geo.geometry."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.geometry import (
+    BBox,
+    GeoPoint,
+    LocalProjection,
+    Polygon,
+    haversine_m,
+    initial_bearing_deg,
+    destination_point,
+    segments_intersect,
+)
+
+lons = st.floats(-179.0, 179.0, allow_nan=False)
+lats = st.floats(-80.0, 80.0, allow_nan=False)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_m(10.0, 45.0, 10.0, 45.0) == 0.0
+
+    def test_one_degree_latitude(self):
+        assert haversine_m(0.0, 0.0, 0.0, 1.0) == pytest.approx(111_195, rel=1e-3)
+
+    def test_known_city_pair(self):
+        # Barcelona (2.17E, 41.38N) to Madrid (-3.70W, 40.42N): ~505 km.
+        d = haversine_m(2.17, 41.38, -3.70, 40.42)
+        assert d == pytest.approx(505_000, rel=0.02)
+
+    @given(lons, lats, lons, lats)
+    def test_symmetry(self, lon1, lat1, lon2, lat2):
+        assert haversine_m(lon1, lat1, lon2, lat2) == pytest.approx(haversine_m(lon2, lat2, lon1, lat1))
+
+    @given(lons, lats, lons, lats)
+    def test_nonnegative(self, lon1, lat1, lon2, lat2):
+        assert haversine_m(lon1, lat1, lon2, lat2) >= 0.0
+
+
+class TestBearingAndDestination:
+    def test_north_bearing(self):
+        assert initial_bearing_deg(0.0, 0.0, 0.0, 1.0) == pytest.approx(0.0)
+
+    def test_east_bearing(self):
+        assert initial_bearing_deg(0.0, 0.0, 1.0, 0.0) == pytest.approx(90.0)
+
+    def test_destination_roundtrip(self):
+        lon, lat = destination_point(2.0, 41.0, 135.0, 25_000.0)
+        d = haversine_m(2.0, 41.0, lon, lat)
+        assert d == pytest.approx(25_000.0, rel=1e-6)
+
+    @given(lons, lats, st.floats(0, 359.9), st.floats(10.0, 500_000.0))
+    @settings(max_examples=50)
+    def test_destination_distance_property(self, lon, lat, brg, dist):
+        lon2, lat2 = destination_point(lon, lat, brg, dist)
+        assert haversine_m(lon, lat, lon2, lat2) == pytest.approx(dist, rel=1e-4)
+
+
+class TestGeoPoint:
+    def test_distance_3d_includes_altitude(self):
+        a = GeoPoint(0.0, 0.0, 0.0)
+        b = GeoPoint(0.0, 0.0, 3000.0)
+        assert a.distance_to(b) == 0.0
+        assert a.distance_3d_to(b) == pytest.approx(3000.0)
+
+    def test_destination_keeps_altitude(self):
+        p = GeoPoint(5.0, 50.0, 10_000.0)
+        q = p.destination(90.0, 1000.0)
+        assert q.alt == 10_000.0
+        assert q.lon > p.lon
+
+
+class TestLocalProjection:
+    def test_origin_maps_to_zero(self):
+        proj = LocalProjection(3.0, 42.0)
+        assert proj.to_xy(3.0, 42.0) == (0.0, 0.0)
+
+    def test_roundtrip(self):
+        proj = LocalProjection(3.0, 42.0)
+        lon, lat = proj.to_lonlat(*proj.to_xy(3.21, 42.37))
+        assert lon == pytest.approx(3.21)
+        assert lat == pytest.approx(42.37)
+
+    def test_matches_haversine_locally(self):
+        proj = LocalProjection(3.0, 42.0)
+        x, y = proj.to_xy(3.1, 42.05)
+        planar = math.hypot(x, y)
+        geodesic = haversine_m(3.0, 42.0, 3.1, 42.05)
+        assert planar == pytest.approx(geodesic, rel=0.01)
+
+
+class TestBBox:
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            BBox(1.0, 0.0, 0.0, 1.0)
+
+    def test_contains_edges(self):
+        box = BBox(0.0, 0.0, 2.0, 2.0)
+        assert box.contains(0.0, 0.0)
+        assert box.contains(2.0, 2.0)
+        assert not box.contains(2.01, 1.0)
+
+    def test_intersects(self):
+        a = BBox(0.0, 0.0, 2.0, 2.0)
+        assert a.intersects(BBox(1.0, 1.0, 3.0, 3.0))
+        assert a.intersects(BBox(2.0, 2.0, 3.0, 3.0))  # touching counts
+        assert not a.intersects(BBox(2.1, 2.1, 3.0, 3.0))
+
+    def test_of_points(self):
+        box = BBox.of_points([(1.0, 5.0), (-1.0, 2.0), (0.5, 7.0)])
+        assert box == BBox(-1.0, 2.0, 1.0, 7.0)
+
+    def test_of_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            BBox.of_points([])
+
+    def test_expanded(self):
+        box = BBox(0.0, 0.0, 1.0, 1.0).expanded(0.5)
+        assert box == BBox(-0.5, -0.5, 1.5, 1.5)
+
+    def test_expanded_by_metres(self):
+        box = BBox(0.0, 0.0, 1.0, 1.0).expanded_by_metres(111_195.0)
+        assert box.min_lat == pytest.approx(-1.0, abs=0.01)
+        assert box.max_lat == pytest.approx(2.0, abs=0.01)
+
+
+SQUARE = Polygon([(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)])
+
+
+class TestPolygon:
+    def test_needs_three_vertices(self):
+        with pytest.raises(ValueError):
+            Polygon([(0, 0), (1, 1)])
+
+    def test_closing_vertex_dropped(self):
+        poly = Polygon([(0, 0), (1, 0), (1, 1), (0, 0)])
+        assert len(poly) == 3
+
+    def test_contains_interior(self):
+        assert SQUARE.contains(2.0, 2.0)
+
+    def test_excludes_exterior(self):
+        assert not SQUARE.contains(5.0, 2.0)
+        assert not SQUARE.contains(-0.1, 2.0)
+
+    def test_hole_excluded(self):
+        poly = Polygon(
+            [(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)],
+            holes=[[(1.0, 1.0), (3.0, 1.0), (3.0, 3.0), (1.0, 3.0)]],
+        )
+        assert poly.contains(0.5, 0.5)
+        assert not poly.contains(2.0, 2.0)
+
+    def test_area(self):
+        assert SQUARE.area_deg2() == pytest.approx(16.0)
+
+    def test_area_with_hole(self):
+        poly = Polygon(
+            [(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)],
+            holes=[[(1.0, 1.0), (3.0, 1.0), (3.0, 3.0), (1.0, 3.0)]],
+        )
+        assert poly.area_deg2() == pytest.approx(12.0)
+
+    def test_centroid(self):
+        cx, cy = SQUARE.centroid()
+        assert (cx, cy) == (2.0, 2.0)
+
+    def test_distance_inside_is_zero(self):
+        assert SQUARE.distance_to_point_m(1.0, 1.0) == 0.0
+
+    def test_distance_outside_positive(self):
+        d = SQUARE.distance_to_point_m(5.0, 2.0)
+        # One degree of longitude at lat 2 is ~111 km.
+        assert d == pytest.approx(111_000, rel=0.05)
+
+    def test_intersects_bbox_overlap(self):
+        assert SQUARE.intersects_bbox(BBox(3.0, 3.0, 5.0, 5.0))
+
+    def test_intersects_bbox_containment_both_ways(self):
+        assert SQUARE.intersects_bbox(BBox(1.0, 1.0, 2.0, 2.0))  # bbox inside polygon
+        assert SQUARE.intersects_bbox(BBox(-1.0, -1.0, 5.0, 5.0))  # polygon inside bbox
+
+    def test_intersects_bbox_disjoint(self):
+        assert not SQUARE.intersects_bbox(BBox(10.0, 10.0, 11.0, 11.0))
+
+    def test_edge_crossing_without_vertex_containment(self):
+        # A thin bbox crossing the square's middle: no vertices inside either way.
+        assert SQUARE.intersects_bbox(BBox(-1.0, 1.9, 5.0, 2.1))
+
+    @given(st.floats(0.01, 3.99), st.floats(0.01, 3.99))
+    def test_interior_points_property(self, x, y):
+        assert SQUARE.contains(x, y)
+
+
+class TestSegmentsIntersect:
+    def test_crossing(self):
+        assert segments_intersect((0, 0), (2, 2), (0, 2), (2, 0))
+
+    def test_touching_endpoint(self):
+        assert segments_intersect((0, 0), (1, 1), (1, 1), (2, 0))
+
+    def test_parallel_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 0), (0, 1), (1, 1))
+
+    def test_collinear_overlapping(self):
+        assert segments_intersect((0, 0), (2, 0), (1, 0), (3, 0))
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 0), (2, 0), (3, 0))

@@ -1,0 +1,111 @@
+"""Tests for WKT parsing/serialization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo import wkt
+from repro.geo.geometry import GeoPoint, Polygon
+
+
+class TestPoint:
+    def test_roundtrip(self):
+        p = GeoPoint(2.123456, 41.654321)
+        q = wkt.parse_point(wkt.point_to_wkt(p))
+        assert q.lon == pytest.approx(p.lon, abs=1e-6)
+        assert q.lat == pytest.approx(p.lat, abs=1e-6)
+
+    def test_with_altitude(self):
+        p = GeoPoint(1.0, 2.0, 3500.0)
+        q = wkt.parse_point(wkt.point_to_wkt(p, include_alt=True))
+        assert q.alt == pytest.approx(3500.0)
+
+    def test_case_insensitive(self):
+        assert wkt.parse_point("point (1 2)").lon == 1.0
+
+    def test_scientific_notation(self):
+        p = wkt.parse_point("POINT (1e1 -2.5E-1)")
+        assert p.lon == 10.0
+        assert p.lat == -0.25
+
+    def test_reject_garbage(self):
+        with pytest.raises(wkt.WKTError):
+            wkt.parse_point("LINESTRING (0 0, 1 1)")
+
+    @given(st.floats(-179, 179), st.floats(-89, 89))
+    def test_roundtrip_property(self, lon, lat):
+        q = wkt.parse_point(wkt.point_to_wkt(GeoPoint(lon, lat)))
+        assert q.lon == pytest.approx(lon, abs=1e-5)
+        assert q.lat == pytest.approx(lat, abs=1e-5)
+
+
+class TestLineString:
+    def test_roundtrip(self):
+        pts = [(0.0, 0.0), (1.5, 2.5), (3.0, -1.0)]
+        parsed = wkt.parse_linestring(wkt.linestring_to_wkt(pts))
+        for (alon, alat), (blon, blat) in zip(parsed, pts):
+            assert alon == pytest.approx(blon, abs=1e-6)
+            assert alat == pytest.approx(blat, abs=1e-6)
+
+    def test_too_short_raises(self):
+        with pytest.raises(wkt.WKTError):
+            wkt.linestring_to_wkt([(0.0, 0.0)])
+
+    def test_single_point_literal_rejected(self):
+        with pytest.raises(wkt.WKTError):
+            wkt.parse_linestring("LINESTRING (0 0)")
+
+
+class TestPolygon:
+    def test_roundtrip(self):
+        poly = Polygon([(0.0, 0.0), (2.0, 0.0), (2.0, 2.0), (0.0, 2.0)])
+        parsed = wkt.parse_polygon(wkt.polygon_to_wkt(poly))
+        assert len(parsed) == 4
+        assert parsed.contains(1.0, 1.0)
+
+    def test_roundtrip_with_hole(self):
+        poly = Polygon(
+            [(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)],
+            holes=[[(1.0, 1.0), (3.0, 1.0), (3.0, 3.0), (1.0, 3.0)]],
+        )
+        parsed = wkt.parse_polygon(wkt.polygon_to_wkt(poly))
+        assert not parsed.contains(2.0, 2.0)
+        assert parsed.contains(0.5, 0.5)
+
+    def test_unbalanced_raises(self):
+        with pytest.raises(wkt.WKTError):
+            wkt.parse_polygon("POLYGON ((0 0, 1 0, 1 1")
+
+
+class TestMultiPolygon:
+    def test_roundtrip(self):
+        polys = [
+            Polygon([(0.0, 0.0), (1.0, 0.0), (1.0, 1.0)]),
+            Polygon([(5.0, 5.0), (6.0, 5.0), (6.0, 6.0)]),
+        ]
+        parsed = wkt.parse_multipolygon(wkt.multipolygon_to_wkt(polys))
+        assert len(parsed) == 2
+        assert parsed[1].contains(5.9, 5.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(wkt.WKTError):
+            wkt.multipolygon_to_wkt([])
+
+
+class TestDispatch:
+    def test_dispatch_point(self):
+        assert isinstance(wkt.parse_geometry("POINT (1 2)"), GeoPoint)
+
+    def test_dispatch_polygon(self):
+        assert isinstance(wkt.parse_geometry("POLYGON ((0 0, 1 0, 1 1, 0 0))"), Polygon)
+
+    def test_dispatch_linestring(self):
+        assert isinstance(wkt.parse_geometry("LINESTRING (0 0, 1 1)"), list)
+
+    def test_dispatch_multipolygon(self):
+        got = wkt.parse_geometry("MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0)))")
+        assert isinstance(got, list) and isinstance(got[0], Polygon)
+
+    def test_dispatch_unknown(self):
+        with pytest.raises(wkt.WKTError):
+            wkt.parse_geometry("GEOMETRYCOLLECTION ()")

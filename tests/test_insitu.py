@@ -1,0 +1,233 @@
+"""Tests for in-situ processing: stats, area events, quality."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datasources.regions import Region
+from repro.geo import PositionFix, Polygon
+from repro.insitu import (
+    AreaEventDetector,
+    ISSUE_COORD_RANGE,
+    ISSUE_DUPLICATE_TIME,
+    ISSUE_IMPLIED_SPEED,
+    ISSUE_REPORTED_SPEED,
+    ISSUE_TIME_ORDER,
+    OnlineStats,
+    QualityConfig,
+    QualityReport,
+    RegionIndex,
+    clean_stream,
+    make_stats_operator,
+    stats_for_fixes,
+)
+from repro.streams import Record
+
+
+def fix(t, lon, lat, eid="v1", **kw):
+    return PositionFix(entity_id=eid, t=t, lon=lon, lat=lat, **kw)
+
+
+class TestOnlineStats:
+    def test_empty_is_nan(self):
+        s = OnlineStats()
+        assert math.isnan(s.mean) and math.isnan(s.median)
+
+    def test_basic_moments(self):
+        s = OnlineStats()
+        for x in [1.0, 2.0, 3.0, 4.0]:
+            s.add(x)
+        assert s.count == 4
+        assert s.min == 1.0 and s.max == 4.0
+        assert s.mean == pytest.approx(2.5)
+        assert s.median == pytest.approx(2.5)
+
+    def test_median_odd(self):
+        s = OnlineStats()
+        for x in [5.0, 1.0, 3.0]:
+            s.add(x)
+        assert s.median == 3.0
+
+    def test_nan_ignored(self):
+        s = OnlineStats()
+        s.add(float("nan"))
+        s.add(2.0)
+        assert s.count == 1
+
+    def test_stdev(self):
+        s = OnlineStats()
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+            s.add(x)
+        assert s.stdev == pytest.approx(2.0)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=60))
+    def test_median_matches_sorted_property(self, xs):
+        s = OnlineStats()
+        for x in xs:
+            s.add(x)
+        xs_sorted = sorted(xs)
+        n = len(xs_sorted)
+        expected = xs_sorted[n // 2] if n % 2 else (xs_sorted[n // 2 - 1] + xs_sorted[n // 2]) / 2.0
+        assert s.median == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=60))
+    def test_mean_matches_batch_property(self, xs):
+        s = OnlineStats()
+        for x in xs:
+            s.add(x)
+        assert s.mean == pytest.approx(sum(xs) / len(xs), rel=1e-6, abs=1e-6)
+
+
+class TestTrajectoryStats:
+    def test_stats_for_fixes_speed(self):
+        fixes = [fix(i * 10.0, i * 0.001, 40.0, speed=5.0 + i) for i in range(5)]
+        states = stats_for_fixes(fixes)
+        assert states["v1"].speed.count == 5
+        assert states["v1"].speed.min == 5.0
+        assert states["v1"].speed.max == 9.0
+
+    def test_acceleration_derived(self):
+        fixes = [fix(0.0, 0.0, 40.0, speed=5.0), fix(10.0, 0.001, 40.0, speed=7.0)]
+        states = stats_for_fixes(fixes)
+        assert states["v1"].acceleration.count == 1
+        assert states["v1"].acceleration.mean == pytest.approx(0.2)
+
+    def test_derives_speed_from_displacement(self):
+        fixes = [fix(0.0, 0.0, 40.0), fix(10.0, 0.01, 40.0)]
+        states = stats_for_fixes(fixes)
+        assert states["v1"].speed.count >= 1
+
+    def test_operator_annotates(self):
+        op = make_stats_operator()
+        out = op.process(Record(0.0, fix(0.0, 0.0, 40.0, speed=5.0), key="v1"))
+        assert "speed_stats" in out[0].value.annotations
+
+    def test_per_entity_isolation(self):
+        fixes = [fix(0.0, 0, 40, eid="a", speed=1.0), fix(0.0, 0, 40, eid="b", speed=9.0)]
+        states = stats_for_fixes(fixes)
+        assert states["a"].speed.max == 1.0
+        assert states["b"].speed.min == 9.0
+
+
+def region(rid, lon0, lat0, size=1.0, kind="natura2000"):
+    poly = Polygon([(lon0, lat0), (lon0 + size, lat0), (lon0 + size, lat0 + size), (lon0, lat0 + size)])
+    return Region(region_id=rid, name=rid, kind=kind, polygon=poly)
+
+
+class TestRegionIndex:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RegionIndex([])
+
+    def test_containing(self):
+        idx = RegionIndex([region("r1", 0.0, 0.0), region("r2", 5.0, 5.0)])
+        assert [r.region_id for r in idx.containing(0.5, 0.5)] == ["r1"]
+        assert idx.containing(3.0, 3.0) == []
+
+    def test_occupancy(self):
+        idx = RegionIndex([region("r1", 0.0, 0.0), region("r2", 0.5, 0.5)])
+        assert idx.occupancy(0.7, 0.7) == frozenset({"r1", "r2"})
+
+    def test_candidates_superset_of_containing(self):
+        regions = [region(f"r{i}", i * 0.3, 0.0) for i in range(10)]
+        idx = RegionIndex(regions)
+        contained = {r.region_id for r in idx.containing(1.0, 0.5)}
+        candidates = {r.region_id for r in idx.candidate_regions(1.0, 0.5)}
+        assert contained <= candidates
+
+
+class TestAreaEventDetector:
+    def make_detector(self):
+        return AreaEventDetector(RegionIndex([region("r1", 0.0, 0.0)]))
+
+    def test_entry_exit_sequence(self):
+        det = self.make_detector()
+        assert det.process(fix(0.0, -1.0, 0.5)) == []                  # outside: initial state
+        events = det.process(fix(10.0, 0.5, 0.5))
+        assert [(e.kind, e.region_id) for e in events] == [("entry", "r1")]
+        events = det.process(fix(20.0, 2.0, 0.5))
+        assert [(e.kind, e.region_id) for e in events] == [("exit", "r1")]
+
+    def test_initial_containment_reported_as_entry(self):
+        det = self.make_detector()
+        events = det.process(fix(0.0, 0.5, 0.5))
+        assert [(e.kind, e.region_id) for e in events] == [("entry", "r1")]
+
+    def test_no_event_while_staying(self):
+        det = self.make_detector()
+        det.process(fix(0.0, 0.5, 0.5))
+        assert det.process(fix(10.0, 0.6, 0.6)) == []
+
+    def test_currently_inside(self):
+        det = self.make_detector()
+        det.process(fix(0.0, 0.5, 0.5))
+        assert det.currently_inside("v1") == frozenset({"r1"})
+        assert det.currently_inside("other") == frozenset()
+
+    def test_per_entity_state(self):
+        det = self.make_detector()
+        det.process(fix(0.0, 0.5, 0.5, eid="a"))
+        events = det.process(fix(0.0, 0.5, 0.5, eid="b"))
+        assert events and events[0].entity_id == "b"
+
+
+class TestQuality:
+    def test_clean_passes_good_stream(self):
+        fixes = [fix(i * 10.0, i * 0.001, 40.0, speed=5.0) for i in range(10)]
+        report = QualityReport()
+        out = list(clean_stream(fixes, report=report))
+        assert len(out) == 10
+        assert report.dropped == 0
+
+    def test_coordinate_range(self):
+        report = QualityReport()
+        out = list(clean_stream([fix(0.0, 500.0, 40.0)], report=report))
+        assert out == []
+        assert report.flagged[ISSUE_COORD_RANGE] == 1
+
+    def test_implied_speed_outlier_dropped(self):
+        # Second fix is 50 km away after 10 s: 5000 m/s.
+        fixes = [fix(0.0, 0.0, 40.0), fix(10.0, 0.6, 40.0), fix(20.0, 0.002, 40.0)]
+        report = QualityReport()
+        out = list(clean_stream(fixes, report=report))
+        assert [f.t for f in out] == [0.0, 20.0]
+        assert report.flagged[ISSUE_IMPLIED_SPEED] == 1
+
+    def test_outlier_does_not_poison_baseline(self):
+        """After rejecting a teleport, the next good fix must pass."""
+        fixes = [fix(0.0, 0.0, 40.0), fix(10.0, 5.0, 45.0), fix(20.0, 0.001, 40.0)]
+        out = list(clean_stream(fixes))
+        assert len(out) == 2
+
+    def test_duplicate_and_regressing_time(self):
+        fixes = [fix(10.0, 0.0, 40.0), fix(10.0, 0.0, 40.0), fix(5.0, 0.0, 40.0)]
+        report = QualityReport()
+        out = list(clean_stream(fixes, report=report))
+        assert len(out) == 1
+        assert report.flagged[ISSUE_DUPLICATE_TIME] == 1
+        assert report.flagged[ISSUE_TIME_ORDER] == 1
+
+    def test_reported_speed_limit(self):
+        report = QualityReport()
+        out = list(clean_stream([fix(0.0, 0.0, 40.0, speed=100.0)], report=report))
+        assert out == []
+        assert report.flagged[ISSUE_REPORTED_SPEED] == 1
+
+    def test_aviation_config_allows_fast(self):
+        cfg = QualityConfig().for_aviation()
+        out = list(clean_stream([fix(0.0, 0.0, 40.0, speed=250.0)], config=cfg))
+        assert len(out) == 1
+
+    def test_drop_rate(self):
+        report = QualityReport()
+        list(clean_stream([fix(0.0, 500.0, 40.0), fix(1.0, 0.0, 40.0)], report=report))
+        assert report.drop_rate() == pytest.approx(0.5)
+
+    def test_per_entity_sequential_checks(self):
+        """Time-order checks apply per entity, not across the merged stream."""
+        fixes = [fix(100.0, 0.0, 40.0, eid="a"), fix(50.0, 0.0, 40.0, eid="b")]
+        out = list(clean_stream(fixes))
+        assert len(out) == 2

@@ -1,0 +1,221 @@
+"""Tests for the knowledge-graph store: encoding, layouts, star queries."""
+
+import pytest
+
+from repro.datasources import AISConfig, AISSimulator
+from repro.geo import BBox, EquiGrid, SpatioTemporalGrid
+from repro.kgstore import (
+    Dictionary,
+    KGStore,
+    PropertyTable,
+    STConstraint,
+    STPosition,
+    TriplesTable,
+    VerticalPartitioning,
+    star,
+)
+from repro.rdf import A, IRI, Literal, Triple, VOC, var
+from repro.synopses import SynopsesGenerator
+from repro.rdf.rdfizers import synopses_rdfizer
+
+BOX = BBox(0.0, 0.0, 10.0, 10.0)
+
+
+def make_dictionary():
+    grid = EquiGrid(BOX, 10, 10)
+    return Dictionary(SpatioTemporalGrid(grid, 0.0, 3600.0, 24))
+
+
+class TestDictionary:
+    def test_roundtrip(self):
+        d = make_dictionary()
+        term = IRI("http://x/a")
+        term_id = d.encode(term)
+        assert d.decode(term_id) == term
+        assert d.encode(term) == term_id  # stable on re-encode
+
+    def test_unanchored_slot_zero(self):
+        d = make_dictionary()
+        term_id = d.encode(IRI("http://x/a"))
+        assert Dictionary.st_slot_of(term_id) == 0
+        assert d.st_cell_of(term_id) is None
+
+    def test_anchored_embeds_cell(self):
+        d = make_dictionary()
+        pos = STPosition(5.5, 5.5, 7200.0)
+        term_id = d.encode(IRI("http://x/n1"), pos)
+        cell = d.st_cell_of(term_id)
+        assert cell == d.st_grid.cell_id(5.5, 5.5, 7200.0)
+
+    def test_distinct_terms_distinct_ids(self):
+        d = make_dictionary()
+        ids = {d.encode(IRI(f"http://x/{i}"), STPosition(5.5, 5.5, 0.0)) for i in range(100)}
+        assert len(ids) == 100
+
+    def test_id_matches_slots(self):
+        d = make_dictionary()
+        pos = STPosition(5.5, 5.5, 0.0)
+        term_id = d.encode(IRI("http://x/n"), pos)
+        slots = d.ids_for_range(BBox(5.0, 5.0, 6.0, 6.0), 0.0, 3600.0)
+        assert Dictionary.id_matches_slots(term_id, slots)
+        far = d.ids_for_range(BBox(0.0, 0.0, 1.0, 1.0), 0.0, 3600.0)
+        assert not Dictionary.id_matches_slots(term_id, far)
+
+    def test_decode_unknown(self):
+        with pytest.raises(KeyError):
+            make_dictionary().decode(12345)
+
+
+TRIPLES = [(1, 10, 100), (1, 11, 101), (2, 10, 102), (3, 12, 103), (2, 11, 104)]
+
+
+class TestLayouts:
+    @pytest.mark.parametrize("cls", [TriplesTable, VerticalPartitioning, PropertyTable])
+    def test_size_preserved(self, cls):
+        layout = cls(TRIPLES, n_partitions=2)
+        assert len(layout) == len(TRIPLES)
+
+    @pytest.mark.parametrize("cls", [TriplesTable, VerticalPartitioning, PropertyTable])
+    def test_scan_returns_everything(self, cls):
+        layout = cls(TRIPLES, n_partitions=2)
+        got = set()
+        for part in layout.scan():
+            got.update(zip(part.s.tolist(), part.p.tolist(), part.o.tolist()))
+        assert got == set(TRIPLES)
+
+    @pytest.mark.parametrize("cls", [TriplesTable, VerticalPartitioning, PropertyTable])
+    def test_scan_predicate(self, cls):
+        layout = cls(TRIPLES, n_partitions=2)
+        got = set()
+        for part in layout.scan_predicate(10):
+            got.update(zip(part.s.tolist(), part.p.tolist(), part.o.tolist()))
+        assert got == {(1, 10, 100), (2, 10, 102)}
+
+    def test_property_table_star_scan(self):
+        layout = PropertyTable(TRIPLES)
+        rows = dict(layout.star_scan([10, 11]))
+        assert rows == {1: [100, 101], 2: [102, 104]}
+
+    def test_property_table_multivalue_overflow(self):
+        layout = PropertyTable([(1, 10, 100), (1, 10, 200)])
+        assert len(layout) == 2
+        got = set()
+        for part in layout.scan_predicate(10):
+            got.update(zip(part.s.tolist(), part.p.tolist(), part.o.tolist()))
+        assert got == {(1, 10, 100), (1, 10, 200)}
+
+    def test_invalid_partitions(self):
+        with pytest.raises(ValueError):
+            TriplesTable(TRIPLES, n_partitions=0)
+
+
+def build_store(layout="property_table"):
+    """A store loaded with synopsis triples from a small simulated fleet."""
+    sim = AISSimulator(
+        n_vessels=6, bbox=BOX, seed=3,
+        config=AISConfig(report_period_s=30.0, gap_probability_per_hour=0.0, outlier_probability=0.0),
+    )
+    gen = SynopsesGenerator()
+    points = list(gen.process_stream(sim.fixes(0.0, 2 * 3600.0)))
+    points += gen.flush()
+    triples = list(synopses_rdfizer(points).triples())
+    store = KGStore(BOX, t_origin=0.0, t_extent_s=2 * 3600.0, layout=layout, grid_cols=16, grid_rows=16, t_slots=8)
+    report = store.load(triples)
+    return store, report, points
+
+
+class TestKGStore:
+    def test_load_report(self):
+        store, report, points = build_store()
+        assert report.triples > 0
+        assert report.anchored_subjects > 0
+        assert len(store) == report.triples
+
+    def test_star_query_no_constraint(self):
+        store, _, points = build_store()
+        q = star("node", (A, VOC.SemanticNode), (VOC.timestamp, var("t")))
+        results, metrics = store.execute(q)
+        node_count = len({(p.entity_id, p.t) for p in points})
+        assert metrics.results == len(results)
+        assert len(results) == node_count
+
+    def test_unknown_predicate_empty(self):
+        store, _, _ = build_store()
+        q = star("node", (IRI("http://nope/p"), var("x")))
+        results, _ = store.execute(q)
+        assert results == []
+
+    def test_fixed_object_arm(self):
+        store, _, points = build_store()
+        q = star("node", (A, VOC.SemanticNode), (VOC.eventType, Literal.of("start")))
+        results, _ = store.execute(q)
+        starts = [p for p in points if p.kind == "start"]
+        assert len(results) == len({(p.entity_id, p.t) for p in starts})
+
+    @pytest.mark.parametrize("layout", ["property_table", "triples_table", "vertical_partitioning"])
+    def test_layouts_agree(self, layout):
+        reference_store, _, _ = build_store("property_table")
+        store, _, _ = build_store(layout)
+        st = STConstraint(BBox(2.0, 2.0, 8.0, 8.0), 0.0, 3600.0)
+        q = star("node", (A, VOC.SemanticNode), (VOC.timestamp, var("t")), st=st)
+        ref, _ = reference_store.execute(q)
+        got, _ = store.execute(q)
+        key = lambda b: sorted((k, str(v)) for k, v in b.items())
+        assert sorted(map(key, got)) == sorted(map(key, ref))
+
+    def test_pushdown_equals_postfilter(self):
+        store, _, _ = build_store()
+        st = STConstraint(BBox(1.0, 1.0, 9.0, 9.0), 600.0, 5400.0)
+        q = star("node", (A, VOC.SemanticNode), (VOC.timestamp, var("t")), st=st)
+        with_push, m_push = store.execute(q, pushdown=True)
+        without, m_post = store.execute(q, pushdown=False)
+        key = lambda b: sorted((k, str(v)) for k, v in b.items())
+        assert sorted(map(key, with_push)) == sorted(map(key, without))
+        # Pushdown refines fewer subjects than the post-filter plan.
+        assert m_push.refined <= m_post.refined
+
+    def test_st_constraint_filters(self):
+        store, _, _ = build_store()
+        st = STConstraint(BBox(0.0, 0.0, 10.0, 10.0), 1e9, 2e9)  # empty time window
+        q = star("node", (A, VOC.SemanticNode), st=st)
+        results, _ = store.execute(q)
+        assert results == []
+
+    def test_invalid_layout(self):
+        with pytest.raises(ValueError):
+            KGStore(BOX, 0.0, 3600.0, layout="nope")
+
+    def test_query_before_load(self):
+        store = KGStore(BOX, 0.0, 3600.0)
+        with pytest.raises(RuntimeError):
+            store.execute(star("s", (A, VOC.SemanticNode)))
+
+    def test_compare_plans_shape(self):
+        store, _, _ = build_store()
+        st = STConstraint(BBox(4.0, 4.0, 6.0, 6.0), 0.0, 1800.0)
+        q = star(
+            "node",
+            (A, VOC.SemanticNode),
+            (VOC.timestamp, var("t")),
+            (VOC.eventType, var("k")),
+            st=st,
+        )
+        comparison = store.compare_plans(q, repeat=2)
+        assert comparison["baseline_s"] > 0
+        assert comparison["pushdown_s"] > 0
+
+
+class TestSTConstraint:
+    def test_contains(self):
+        st = STConstraint(BBox(0, 0, 1, 1), 0.0, 10.0)
+        assert st.contains(0.5, 0.5, 5.0)
+        assert not st.contains(0.5, 0.5, 50.0)
+        assert not st.contains(2.0, 0.5, 5.0)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            STConstraint(BBox(0, 0, 1, 1), 10.0, 0.0)
+
+    def test_star_needs_arms(self):
+        with pytest.raises(ValueError):
+            star("s")

@@ -1,0 +1,117 @@
+"""Tests for the SPARQL-text star-query parser."""
+
+import pytest
+
+from repro.geo import BBox
+from repro.kgstore import SPARQLSyntaxError, parse_star_query
+from repro.rdf import IRI, Literal, Variable, VOC
+
+
+BASIC = """
+SELECT ?node ?t WHERE {
+    ?node a dtc:SemanticNode ;
+          dtc:hasTimestamp ?t .
+}
+"""
+
+
+class TestBasicParsing:
+    def test_subject_and_arms(self):
+        q = parse_star_query(BASIC)
+        assert q.subject == Variable("node")
+        assert len(q.arms) == 2
+        assert q.arms[0][1] == VOC.SemanticNode
+        assert q.arms[1] == (VOC.timestamp, Variable("t"))
+        assert q.st is None
+
+    def test_a_keyword_is_rdf_type(self):
+        q = parse_star_query(BASIC)
+        assert q.arms[0][0] == IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+
+    def test_string_literal_object(self):
+        q = parse_star_query('SELECT ?n WHERE { ?n dtc:eventType "turn" . }')
+        assert q.arms[0][1] == Literal("turn")
+
+    def test_numeric_literal_objects(self):
+        q = parse_star_query("SELECT ?n WHERE { ?n dtc:hasTimestamp 42 ; dtc:reportedSpeed 3.5 . }")
+        assert q.arms[0][1].value == "42"
+        assert q.arms[1][1].value == "3.5"
+
+    def test_full_iri_object(self):
+        q = parse_star_query("SELECT ?n WHERE { ?n a <http://example.org/Thing> . }")
+        assert q.arms[0][1] == IRI("http://example.org/Thing")
+
+    def test_custom_prefix(self):
+        q = parse_star_query("""
+            PREFIX ex: <http://example.org/>
+            SELECT ?n WHERE { ?n ex:p ?v . }
+        """)
+        assert q.arms[0][0] == IRI("http://example.org/p")
+
+    def test_comments_ignored(self):
+        q = parse_star_query("SELECT ?n WHERE { # star\n ?n a dtc:Port . }")
+        assert q.arms[0][1] == VOC.Port
+
+
+class TestSTFilter:
+    def test_filter_parsed(self):
+        q = parse_star_query("""
+            SELECT ?n WHERE {
+                ?n a dtc:SemanticNode .
+                FILTER st_within(-6.0, 30.0, 30.0, 46.0, 0.0, 3600.0)
+            }
+        """)
+        assert q.st is not None
+        assert q.st.bbox == BBox(-6.0, 30.0, 30.0, 46.0)
+        assert (q.st.t_min, q.st.t_max) == (0.0, 3600.0)
+
+    def test_filter_case_insensitive(self):
+        q = parse_star_query("SELECT ?n WHERE { ?n a dtc:Port . filter ST_WITHIN(0, 0, 1, 1, 0, 10) }")
+        assert q.st is not None
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "SELECT ?n WHERE { dtc:x a dtc:Port . }",        # non-variable subject
+        "SELECT ?n WHERE { ?n a dtc:Port }",             # missing final dot
+        "SELECT ?n WHERE { ?n a ex:Port . }",            # undeclared prefix
+        "SELECT ?n WHERE { ?n a dtc:Port . } extra",     # trailing tokens
+        "SELECT ?missing WHERE { ?n a dtc:Port . }",     # unbound SELECT var
+        "WHERE { ?n a dtc:Port . }",                     # missing SELECT
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_star_query(bad)
+
+
+class TestExecutionAgainstStore:
+    def test_text_query_equals_programmatic(self):
+        from repro.datasources import AISConfig, AISSimulator
+        from repro.kgstore import KGStore, STConstraint, star
+        from repro.rdf import A, var
+        from repro.rdf.rdfizers import synopses_rdfizer
+        from repro.synopses import SynopsesGenerator
+
+        box = BBox(0.0, 0.0, 10.0, 10.0)
+        sim = AISSimulator(n_vessels=4, bbox=box, seed=3,
+                           config=AISConfig(report_period_s=60.0, gap_probability_per_hour=0.0,
+                                            outlier_probability=0.0))
+        gen = SynopsesGenerator()
+        points = list(gen.process_stream(sim.fixes(0.0, 3600.0))) + gen.flush()
+        store = KGStore(box, t_origin=0.0, t_extent_s=3600.0, grid_cols=8, grid_rows=8, t_slots=4)
+        store.load(synopses_rdfizer(points).triples())
+
+        text_query = parse_star_query("""
+            SELECT ?node ?t WHERE {
+                ?node a dtc:SemanticNode ;
+                      dtc:hasTimestamp ?t .
+                FILTER st_within(0.0, 0.0, 10.0, 10.0, 0.0, 1800.0)
+            }
+        """)
+        prog_query = star("node", (A, VOC.SemanticNode), (VOC.timestamp, var("t")),
+                          st=STConstraint(box, 0.0, 1800.0))
+        text_results, _ = store.execute(text_query)
+        prog_results, _ = store.execute(prog_query)
+        key = lambda b: sorted((k, str(v)) for k, v in b.items())
+        assert sorted(map(key, text_results)) == sorted(map(key, prog_results))
+        assert text_results, "query should return nodes"

@@ -1,0 +1,108 @@
+"""Tests for reactive/proactive error feedback around FLP predictors."""
+
+import pytest
+
+from repro.geo import PositionFix, destination_point, haversine_m
+from repro.prediction import ErrorFeedbackPredictor, RMFStarPredictor, flp_horizon_sweep
+from repro.prediction.rmf import PredictedPoint
+
+
+class BiasedPredictor:
+    """A stub predictor with a constant northward bias of ``bias_m``."""
+
+    name = "biased"
+
+    def __init__(self, bias_m=500.0, speed=100.0, dt=10.0):
+        self.bias_m = bias_m
+        self.speed = speed
+        self.dt = dt
+        self.last = None
+
+    def reset(self):
+        self.last = None
+
+    def ready(self):
+        return self.last is not None
+
+    def observe(self, fix):
+        self.last = fix
+
+    def predict(self, k, step_s=None):
+        dt = step_s or self.dt
+        out = []
+        lon, lat = self.last.lon, self.last.lat
+        for i in range(1, k + 1):
+            plon, plat = destination_point(lon, lat, 90.0, self.speed * dt * i)
+            # Constant northward bias (grows per-step for the stub).
+            plon, plat = destination_point(plon, plat, 0.0, self.bias_m)
+            out.append(PredictedPoint(self.last.t + i * dt, plon, plat))
+        return out
+
+
+def eastbound_track(n=40, dt=10.0, speed=100.0):
+    fixes = []
+    lon, lat = 2.0, 41.0
+    for i in range(n):
+        fixes.append(PositionFix("a1", i * dt, lon, lat, speed=speed, heading=90.0))
+        lon, lat = destination_point(lon, lat, 90.0, speed * dt)
+    return fixes
+
+
+class TestFeedbackWrapper:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ErrorFeedbackPredictor(BiasedPredictor(), mode="magic")
+        with pytest.raises(ValueError):
+            ErrorFeedbackPredictor(BiasedPredictor(), alpha=0.0)
+
+    def test_reactive_removes_constant_bias(self):
+        raw = BiasedPredictor(bias_m=500.0)
+        fb = ErrorFeedbackPredictor(BiasedPredictor(bias_m=500.0), mode="reactive", alpha=0.5)
+        track = eastbound_track()
+        for fix in track[:20]:
+            raw.observe(fix)
+            fb.observe(fix)
+        target = track[20]  # the 1-step-ahead fix after observing track[:20]
+        raw_err = haversine_m(raw.predict(1)[0].lon, raw.predict(1)[0].lat, target.lon, target.lat)
+        fb_err = haversine_m(fb.predict(1)[0].lon, fb.predict(1)[0].lat, target.lon, target.lat)
+        assert fb_err < raw_err * 0.5   # the learned bias cancels most of the error
+
+    def test_bias_estimate_converges(self):
+        fb = ErrorFeedbackPredictor(BiasedPredictor(bias_m=500.0), mode="reactive", alpha=0.5)
+        for fix in eastbound_track()[:25]:
+            fb.observe(fix)
+        # Predictor is biased 500 m north, so the learned correction points south.
+        assert fb.stats.bias_north_m < -250.0
+        assert abs(fb.stats.bias_east_m) < 150.0
+
+    def test_proactive_scales_with_horizon(self):
+        fb = ErrorFeedbackPredictor(BiasedPredictor(bias_m=300.0), mode="proactive", alpha=0.5)
+        for fix in eastbound_track()[:20]:
+            fb.observe(fix)
+        predictions = fb.predict(4)
+        inner = BiasedPredictor(bias_m=300.0)
+        for fix in eastbound_track()[:20]:
+            inner.observe(fix)
+        raw = inner.predict(4)
+        # The applied correction grows with the look-ahead step.
+        shifts = [haversine_m(p.lon, p.lat, r.lon, r.lat) for p, r in zip(predictions, raw)]
+        assert shifts == sorted(shifts)
+        assert shifts[-1] > shifts[0] * 2.0
+
+    def test_reset_clears_state(self):
+        fb = ErrorFeedbackPredictor(BiasedPredictor(), mode="reactive")
+        for fix in eastbound_track()[:10]:
+            fb.observe(fix)
+        fb.reset()
+        assert not fb.ready()
+        assert fb.stats.bias_north_m == fb._bias_n  # stats mirror internals
+
+    def test_wraps_rmf_star_in_harness(self):
+        """The wrapper satisfies the OnlinePredictor protocol end to end."""
+        fb = ErrorFeedbackPredictor(RMFStarPredictor(), mode="reactive")
+        from repro.geo import Trajectory
+
+        track = Trajectory("a1", eastbound_track(n=40))
+        errors = flp_horizon_sweep(fb, track, k=4, warmup=10)
+        assert errors.count(0) > 0
+        assert errors.mean(0) < 500.0

@@ -1,0 +1,132 @@
+"""Tests for the FLP predictors (RMF, RMF*) and the horizon-sweep harness."""
+
+import math
+
+import pytest
+
+from repro.geo import PositionFix, Trajectory, destination_point, haversine_m
+from repro.prediction import RMFPredictor, RMFStarPredictor, flp_horizon_sweep, flp_sweep_many
+
+
+def linear_track(n=40, dt=8.0, speed=200.0, heading=90.0, eid="a1", alt=10_000.0):
+    fixes = []
+    lon, lat = 2.0, 41.0
+    for i in range(n):
+        fixes.append(PositionFix(eid, i * dt, lon, lat, alt=alt, speed=speed, heading=heading, vrate=0.0))
+        lon, lat = destination_point(lon, lat, heading, speed * dt)
+    return Trajectory(eid, fixes)
+
+
+def turning_track(n=60, dt=8.0, speed=200.0, turn_rate=1.5, eid="a1"):
+    """A constant-rate turn (circular arc)."""
+    fixes = []
+    lon, lat = 2.0, 41.0
+    heading = 0.0
+    for i in range(n):
+        fixes.append(PositionFix(eid, i * dt, lon, lat, alt=9000.0, speed=speed, heading=heading, vrate=0.0))
+        heading = (heading + turn_rate * dt) % 360.0
+        lon, lat = destination_point(lon, lat, heading, speed * dt)
+    return Trajectory(eid, fixes)
+
+
+class TestRMF:
+    def test_requires_history(self):
+        rmf = RMFPredictor(f=3, window=12)
+        with pytest.raises(RuntimeError):
+            rmf.predict(1)
+
+    def test_linear_motion_predicted_well(self):
+        rmf = RMFPredictor(f=3, window=12)
+        track = linear_track()
+        for fix in list(track)[:20]:
+            rmf.observe(fix)
+        predictions = rmf.predict(4, step_s=8.0)
+        actual = list(track)[20:24]
+        for pred, act in zip(predictions, actual):
+            assert haversine_m(pred.lon, pred.lat, act.lon, act.lat) < 300.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RMFPredictor(f=0)
+        with pytest.raises(ValueError):
+            RMFPredictor(f=5, window=6)
+
+    def test_reset(self):
+        rmf = RMFPredictor()
+        for fix in list(linear_track())[:10]:
+            rmf.observe(fix)
+        rmf.reset()
+        assert not rmf.ready()
+
+
+class TestRMFStar:
+    def test_linear_mode_on_straight(self):
+        star = RMFStarPredictor()
+        for fix in list(linear_track())[:20]:
+            star.observe(fix)
+        assert star.mode == "linear"
+
+    def test_pattern_mode_on_turn(self):
+        star = RMFStarPredictor()
+        for fix in list(turning_track())[:20]:
+            star.observe(fix)
+        assert star.mode == "pattern"
+
+    def test_straight_prediction_accurate(self):
+        star = RMFStarPredictor()
+        track = linear_track()
+        for fix in list(track)[:20]:
+            star.observe(fix)
+        predictions = star.predict(8, step_s=8.0)
+        actual = list(track)[20:28]
+        for pred, act in zip(predictions, actual):
+            assert haversine_m(pred.lon, pred.lat, act.lon, act.lat) < 200.0
+
+    def test_turn_prediction_beats_linear_extrapolation(self):
+        """On a circular arc, RMF* should beat a frozen constant-velocity guess."""
+        track = turning_track(n=80)
+        star_errors = flp_horizon_sweep(RMFStarPredictor(), track, k=8, warmup=16)
+
+        class FrozenLinear(RMFStarPredictor):
+            """RMF* with pattern mode disabled: always linear."""
+
+            name = "frozen_linear"
+
+            def _nonlinear_phase(self):
+                return False
+
+        linear_errors = flp_horizon_sweep(FrozenLinear(), track, k=8, warmup=16)
+        # At the longest look-ahead, the pattern-aware predictor wins.
+        assert star_errors.mean(7) < linear_errors.mean(7)
+
+    def test_altitude_predicted(self):
+        star = RMFStarPredictor()
+        fixes = list(linear_track())[:20]
+        for fix in fixes:
+            star.observe(fix)
+        pred = star.predict(2, step_s=8.0)
+        assert pred[0].alt == pytest.approx(10_000.0, abs=50.0)
+
+
+class TestHorizonSweep:
+    def test_shape_and_counts(self):
+        errors = flp_horizon_sweep(RMFStarPredictor(), linear_track(n=40), k=8, warmup=8)
+        rows = errors.summary_rows(step_s=8.0)
+        assert len(rows) == 8
+        assert rows[0]["lookahead_s"] == 8.0
+        assert rows[-1]["lookahead_s"] == 64.0
+        assert rows[0]["n"] > 0
+
+    def test_error_grows_with_lookahead_on_turns(self):
+        errors = flp_horizon_sweep(RMFStarPredictor(), turning_track(n=80), k=8, warmup=16)
+        assert errors.mean(7) > errors.mean(0)
+
+    def test_pooled_sweep(self):
+        tracks = [linear_track(eid="a"), linear_track(eid="b", heading=45.0)]
+        pooled = flp_sweep_many(RMFStarPredictor(), tracks, k=4, warmup=8)
+        single = flp_horizon_sweep(RMFStarPredictor(), tracks[0], k=4, warmup=8)
+        assert pooled.count(0) > single.count(0)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            flp_horizon_sweep(RMFStarPredictor(), linear_track(), k=0)

@@ -1,0 +1,90 @@
+"""Tests for semantic trajectory segmentation (Figure 3 structure)."""
+
+import pytest
+
+from repro.geo import PositionFix
+from repro.rdf import A, Graph, VOC, segment_trajectory, segmentation_triples, segments_by_entity
+from repro.synopses import CriticalPoint
+
+
+def cp(t, kind, eid="v1"):
+    return CriticalPoint(PositionFix(eid, t, t * 0.001, 40.0), kind)
+
+
+VOYAGE_WITH_STOP = [
+    cp(0.0, "start"),
+    cp(100.0, "turn"),
+    cp(200.0, "stop_start"),
+    cp(500.0, "stop_end"),
+    cp(600.0, "turn"),
+    cp(700.0, "end"),
+]
+
+
+class TestSegmentation:
+    def test_parts_and_behaviours(self):
+        parts = segment_trajectory(VOYAGE_WITH_STOP)
+        assert [p.behaviour for p in parts] == ["voyage", "stopped", "voyage"]
+
+    def test_boundary_points_shared(self):
+        parts = segment_trajectory(VOYAGE_WITH_STOP)
+        voyage1, stopped, voyage2 = parts
+        assert voyage1.points[-1].kind == "stop_start"
+        assert stopped.points[0].kind == "stop_start"
+        assert stopped.points[-1].kind == "stop_end"
+        assert voyage2.points[0].kind == "stop_end"
+
+    def test_temporal_extents_ordered(self):
+        parts = segment_trajectory(VOYAGE_WITH_STOP)
+        for a, b in zip(parts, parts[1:]):
+            assert a.t_end <= b.t_start
+
+    def test_gap_segment(self):
+        points = [cp(0.0, "start"), cp(100.0, "gap_start"), cp(900.0, "gap_end"), cp(1000.0, "end")]
+        parts = segment_trajectory(points)
+        assert [p.behaviour for p in parts] == ["voyage", "gap", "voyage"]
+
+    def test_plain_voyage_single_part(self):
+        points = [cp(0.0, "start"), cp(50.0, "turn"), cp(100.0, "end")]
+        parts = segment_trajectory(points)
+        assert len(parts) == 1
+        assert parts[0].behaviour == "voyage"
+        assert len(parts[0]) == 3
+
+    def test_empty(self):
+        assert segment_trajectory([]) == []
+
+    def test_rejects_mixed_entities(self):
+        with pytest.raises(ValueError):
+            segment_trajectory([cp(0.0, "start", "a"), cp(1.0, "end", "b")])
+
+    def test_unsorted_input_handled(self):
+        shuffled = list(reversed(VOYAGE_WITH_STOP))
+        parts = segment_trajectory(shuffled)
+        assert [p.behaviour for p in parts] == ["voyage", "stopped", "voyage"]
+
+    def test_segments_by_entity(self):
+        points = VOYAGE_WITH_STOP + [cp(0.0, "start", "v2"), cp(10.0, "end", "v2")]
+        by_entity = segments_by_entity(points)
+        assert set(by_entity) == {"v1", "v2"}
+        assert len(by_entity["v1"]) == 3
+        assert len(by_entity["v2"]) == 1
+
+
+class TestSegmentationTriples:
+    def test_figure3_structure(self):
+        parts = segment_trajectory(VOYAGE_WITH_STOP)
+        g = Graph(segmentation_triples(parts))
+        part_nodes = g.subjects(A, VOC.TrajectoryPart)
+        assert len(part_nodes) == 3
+        # Every part is linked from the trajectory and encloses its nodes.
+        trajectories = {t.s for t in g.match(None, VOC.hasPart, None)}
+        assert len(trajectories) == 1
+        enclosed = list(g.match(None, VOC.encloses, None))
+        assert len(enclosed) == sum(len(p) for p in parts)
+
+    def test_behaviour_labels_emitted(self):
+        parts = segment_trajectory(VOYAGE_WITH_STOP)
+        g = Graph(segmentation_triples(parts))
+        labels = {t.o.value for t in g.match(None, VOC.eventType, None)}
+        assert {"voyage", "stopped"} <= labels

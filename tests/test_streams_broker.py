@@ -1,0 +1,115 @@
+"""Tests for the in-process broker (Kafka surrogate)."""
+
+import pytest
+
+from repro.streams.broker import Broker, Topic
+from repro.streams.record import Record
+
+
+class TestTopic:
+    def test_publish_and_size(self):
+        t = Topic("raw")
+        t.publish(Record(0.0, "a"))
+        t.publish(Record(1.0, "b"))
+        assert t.size() == 2
+
+    def test_partition_by_key_is_stable(self):
+        t = Topic("raw", partitions=4)
+        p1 = t.partition_for(Record(0.0, "x", key="vessel-7"))
+        p2 = t.partition_for(Record(9.0, "y", key="vessel-7"))
+        assert p1 == p2
+
+    def test_keyless_round_robin(self):
+        t = Topic("raw", partitions=2)
+        parts = {t.publish(Record(float(i), i))[0] for i in range(4)}
+        assert parts == {0, 1}
+
+    def test_retention_drops_oldest(self):
+        t = Topic("raw", retention=3)
+        for i in range(5):
+            t.publish(Record(float(i), i))
+        assert t.size() == 3
+        msgs = t.read(0, 0)
+        assert [m.record.value for m in msgs] == [2, 3, 4]
+        assert msgs[0].offset == 2  # offsets survive trimming
+
+    def test_read_bad_partition(self):
+        with pytest.raises(ValueError):
+            Topic("raw").read(1, 0)
+
+    def test_invalid_partitions(self):
+        with pytest.raises(ValueError):
+            Topic("raw", partitions=0)
+
+
+class TestConsumer:
+    def test_poll_in_time_order(self):
+        broker = Broker()
+        topic = broker.create_topic("raw", partitions=3)
+        for i, t in enumerate([5.0, 1.0, 3.0]):
+            topic.publish(Record(t, i, key=f"k{i}"))
+        consumer = broker.consumer("raw", "g1")
+        values = [r.t for r in consumer.poll()]
+        assert values == sorted(values)
+
+    def test_poll_advances_offsets(self):
+        broker = Broker()
+        topic = broker.create_topic("raw")
+        topic.publish(Record(0.0, "a"))
+        c = broker.consumer("raw", "g1")
+        assert len(c.poll()) == 1
+        assert c.poll() == []
+        topic.publish(Record(1.0, "b"))
+        assert [r.value for r in c.poll()] == ["b"]
+
+    def test_independent_groups(self):
+        broker = Broker()
+        topic = broker.create_topic("raw")
+        topic.publish(Record(0.0, "a"))
+        c1 = broker.consumer("raw", "realtime")
+        c2 = broker.consumer("raw", "batch")
+        assert len(c1.poll()) == 1
+        assert len(c2.poll()) == 1  # batch layer sees the same data
+
+    def test_lag(self):
+        broker = Broker()
+        topic = broker.create_topic("raw")
+        c = broker.consumer("raw", "g")
+        topic.publish(Record(0.0, "a"))
+        topic.publish(Record(1.0, "b"))
+        assert c.lag() == 2
+        c.poll()
+        assert c.lag() == 0
+
+    def test_seek_to_beginning_replays(self):
+        broker = Broker()
+        topic = broker.create_topic("raw")
+        topic.publish(Record(0.0, "a"))
+        c = broker.consumer("raw", "g")
+        c.poll()
+        c.seek_to_beginning()
+        assert [r.value for r in c.poll()] == ["a"]
+
+
+class TestBroker:
+    def test_duplicate_topic_rejected(self):
+        b = Broker()
+        b.create_topic("x")
+        with pytest.raises(ValueError):
+            b.create_topic("x")
+
+    def test_unknown_topic(self):
+        with pytest.raises(KeyError):
+            Broker().topic("nope")
+
+    def test_get_or_create(self):
+        b = Broker()
+        t1 = b.get_or_create("x")
+        t2 = b.get_or_create("x")
+        assert t1 is t2
+
+    def test_publish_convenience(self):
+        b = Broker()
+        b.create_topic("x")
+        b.publish("x", Record(0.0, 1))
+        assert b.topic("x").size() == 1

@@ -1,0 +1,74 @@
+"""Tests for the temporal lookup join (stream enrichment)."""
+
+import pytest
+
+from repro.streams import Enriched, Record, TemporalLookupJoin, merge_by_time
+
+
+def make_join(max_age_s=None):
+    return TemporalLookupJoin(
+        is_reference=lambda v: v.get("kind") == "weather",
+        reference_key=lambda v: v["cell"],
+        fact_key=lambda v: v["cell"],
+        max_age_s=max_age_s,
+    )
+
+
+def ref(t, cell, wind):
+    return Record(t, {"kind": "weather", "cell": cell, "wind": wind})
+
+
+def fact(t, cell, ship):
+    return Record(t, {"kind": "position", "cell": cell, "ship": ship})
+
+
+class TestTemporalLookupJoin:
+    def test_fact_before_any_reference_unmatched(self):
+        join = make_join()
+        out = join.process(fact(0.0, "c1", "a"))
+        assert out[0].value == Enriched({"kind": "position", "cell": "c1", "ship": "a"}, None, None)
+        assert join.facts_unmatched == 1
+
+    def test_reference_absorbed(self):
+        join = make_join()
+        assert join.process(ref(0.0, "c1", 5.0)) == []
+        assert join.table_size() == 1
+
+    def test_fact_enriched_with_latest(self):
+        join = make_join()
+        join.process(ref(0.0, "c1", 5.0))
+        join.process(ref(10.0, "c1", 7.0))
+        out = join.process(fact(15.0, "c1", "a"))
+        enriched = out[0].value
+        assert enriched.context["wind"] == 7.0
+        assert enriched.context_age_s == 5.0
+        assert join.facts_enriched == 1
+
+    def test_key_isolation(self):
+        join = make_join()
+        join.process(ref(0.0, "c1", 5.0))
+        out = join.process(fact(1.0, "c2", "a"))
+        assert out[0].value.context is None
+
+    def test_max_age_expires(self):
+        join = make_join(max_age_s=60.0)
+        join.process(ref(0.0, "c1", 5.0))
+        fresh = join.process(fact(30.0, "c1", "a"))[0].value
+        stale = join.process(fact(100.0, "c1", "a"))[0].value
+        assert fresh.context is not None
+        assert stale.context is None
+
+    def test_invalid_max_age(self):
+        with pytest.raises(ValueError):
+            make_join(max_age_s=0.0)
+
+    def test_with_merged_streams(self):
+        """The intended wiring: merge both sources by time, then join."""
+        weather = [ref(0.0, "c1", 3.0), ref(600.0, "c1", 9.0)]
+        positions = [fact(300.0, "c1", "a"), fact(900.0, "c1", "a")]
+        join = make_join()
+        out = []
+        for record in merge_by_time(weather, positions):
+            out.extend(join.process(record))
+        winds = [r.value.context["wind"] for r in out]
+        assert winds == [3.0, 9.0]   # each fact sees the wind as of its own time

@@ -1,0 +1,190 @@
+"""Tests for dataflow operators, windows and pipelines."""
+
+import pytest
+
+from repro.streams import (
+    Filter,
+    FlatMap,
+    KeyBy,
+    KeyedProcess,
+    LatencyProbe,
+    Map,
+    Pipeline,
+    Record,
+    SlidingWindow,
+    TumblingWindow,
+    Watermark,
+    WatermarkAssigner,
+    WindowResult,
+    count_aggregate,
+    mean_aggregate,
+    merge_by_time,
+    records_from_values,
+)
+
+
+def recs(*pairs, key=None):
+    return [Record(t, v, key) for t, v in pairs]
+
+
+class TestBasicOperators:
+    def test_map(self):
+        out = Map(lambda x: x * 2).process_many(recs((0.0, 1), (1.0, 2)))
+        assert [r.value for r in out] == [2, 4]
+
+    def test_filter(self):
+        op = Filter(lambda x: x % 2 == 0)
+        out = op.process_many(recs((0.0, 1), (1.0, 2), (2.0, 3)))
+        assert [r.value for r in out] == [2]
+        assert op.stats.dropped == 2
+
+    def test_flatmap(self):
+        out = FlatMap(lambda x: range(x)).process_many(recs((0.0, 3)))
+        assert [r.value for r in out] == [0, 1, 2]
+
+    def test_keyby(self):
+        out = KeyBy(lambda v: v["id"]).process_many(recs((0.0, {"id": "a"})))
+        assert out[0].key == "a"
+
+    def test_watermark_passthrough(self):
+        out = Map(lambda x: x).process(Watermark(5.0))
+        assert out == [Watermark(5.0)]
+
+    def test_keyed_process_accumulates(self):
+        def step(state, record):
+            state["sum"] = state.get("sum", 0) + record.value
+            return [state["sum"]]
+
+        op = KeyedProcess(dict, step)
+        out = op.process_many(recs((0.0, 1), (1.0, 2), key="a") + recs((2.0, 10), key="b"))
+        assert [r.value for r in out] == [1, 3, 10]
+        assert set(op.keys()) == {"a", "b"}
+
+    def test_keyed_process_requires_key(self):
+        op = KeyedProcess(dict, lambda s, r: [])
+        with pytest.raises(ValueError):
+            op.process(Record(0.0, 1))
+
+    def test_latency_probe(self):
+        probe = LatencyProbe()
+        probe.process_many(recs((2.0, "a"), (7.0, "b")))
+        assert probe.count == 2
+        assert probe.event_time_span() == 5.0
+
+
+class TestTumblingWindow:
+    def test_counts_close_on_watermark(self):
+        w = TumblingWindow(60.0, count_aggregate)
+        out = w.process_many(recs((10.0, "a"), (20.0, "b"), (70.0, "c"), key="k"))
+        assert out == []  # nothing closed yet
+        out = w.process(Watermark(60.0))
+        results = [r.value for r in out if isinstance(r, Record)]
+        assert len(results) == 1
+        assert results[0] == WindowResult("k", 0.0, 60.0, 2)
+
+    def test_late_records_dropped(self):
+        w = TumblingWindow(60.0, count_aggregate)
+        w.process(Watermark(120.0))
+        w.process(Record(10.0, "late", "k"))
+        assert w.late_records == 1
+
+    def test_allowed_lateness(self):
+        w = TumblingWindow(60.0, count_aggregate, allowed_lateness_s=30.0)
+        w.process(Watermark(70.0))
+        out = w.process(Record(50.0, "ok", "k"))
+        assert w.late_records == 0
+        assert out == []
+
+    def test_flush_closes_everything(self):
+        w = TumblingWindow(60.0, count_aggregate)
+        w.process_many(recs((10.0, "a"), key="k"))
+        out = w.flush()
+        assert len(out) == 1
+
+    def test_per_key_isolation(self):
+        w = TumblingWindow(60.0, count_aggregate)
+        w.process_many(recs((10.0, 1), key="a") + recs((20.0, 1), key="b"))
+        out = [r for r in w.process(Watermark(60.0)) if isinstance(r, Record)]
+        assert {r.value.key for r in out} == {"a", "b"}
+
+    def test_mean_aggregate(self):
+        w = TumblingWindow(10.0, mean_aggregate)
+        w.process_many(recs((0.0, 2.0), (1.0, 4.0), key="k"))
+        out = [r for r in w.process(Watermark(10.0)) if isinstance(r, Record)]
+        assert out[0].value.value == pytest.approx(3.0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            TumblingWindow(0.0, count_aggregate)
+
+
+class TestSlidingWindow:
+    def test_record_lands_in_overlapping_windows(self):
+        w = SlidingWindow(20.0, 10.0, count_aggregate)
+        w.process(Record(15.0, "a", "k"))
+        out = [r for r in w.process(Watermark(100.0)) if isinstance(r, Record)]
+        # t=15 is in windows [0,20) and [10,30).
+        assert len(out) == 2
+        assert all(r.value.value == 1 for r in out)
+
+    def test_invalid_slide(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(10.0, 20.0, count_aggregate)
+
+    def test_flush(self):
+        w = SlidingWindow(20.0, 10.0, count_aggregate)
+        w.process(Record(5.0, "a", "k"))
+        assert len(w.flush()) == 2
+
+
+class TestPipeline:
+    def test_chain(self):
+        p = Pipeline([Map(lambda x: x + 1), Filter(lambda x: x % 2 == 0)])
+        out = p.run(recs((0.0, 1), (1.0, 2)))
+        assert [r.value for r in out] == [2]
+
+    def test_run_with_watermarks_closes_windows(self):
+        p = Pipeline([TumblingWindow(60.0, count_aggregate)])
+        wm = WatermarkAssigner(out_of_orderness_s=0.0, period_s=30.0)
+        out = p.run(recs((10.0, "a"), (70.0, "b"), key="k"), watermarks=wm)
+        assert len(out) == 2  # both hourly-bucket windows closed
+
+    def test_throughput_measured(self):
+        p = Pipeline([Map(lambda x: x)])
+        p.run(recs(*[(float(i), i) for i in range(100)]))
+        assert p.records_processed == 100
+        assert p.throughput() > 0
+
+    def test_flush_cascades_downstream(self):
+        p = Pipeline([
+            TumblingWindow(60.0, count_aggregate),
+            Map(lambda wr: wr.value * 10),
+        ])
+        out = p.run(recs((10.0, "a"), (20.0, "b"), key="k"))
+        assert [r.value for r in out] == [20]
+
+
+class TestHelpers:
+    def test_records_from_values(self):
+        out = list(records_from_values([(0.0, "a"), (1.0, "b")], key="k"))
+        assert out[0].key == "k" and out[1].value == "b"
+
+    def test_merge_by_time(self):
+        s1 = recs((0.0, "a"), (10.0, "c"))
+        s2 = recs((5.0, "b"), (15.0, "d"))
+        merged = [r.value for r in merge_by_time(s1, s2)]
+        assert merged == ["a", "b", "c", "d"]
+
+    def test_merge_handles_empty(self):
+        assert list(merge_by_time([], recs((0.0, "a")))) == recs((0.0, "a"))
+
+    def test_watermark_assigner_lags(self):
+        wm = WatermarkAssigner(out_of_orderness_s=10.0, period_s=1.0)
+        out = wm.feed(Record(100.0, "x"))
+        marks = [e for e in out if isinstance(e, Watermark)]
+        assert marks and marks[0].time == 90.0
+
+    def test_final_watermark_past_everything(self):
+        wm = WatermarkAssigner(out_of_orderness_s=10.0)
+        wm.feed(Record(100.0, "x"))
+        assert wm.final_watermark().time > 100.0

@@ -1,0 +1,67 @@
+"""Tests for broker-to-pipeline glue: drain_consumer, publish_all."""
+
+import pytest
+
+from repro.streams import (
+    Broker,
+    Filter,
+    Map,
+    Pipeline,
+    Record,
+    TumblingWindow,
+    WatermarkAssigner,
+    count_aggregate,
+    drain_consumer,
+    publish_all,
+)
+
+
+class TestPublishAll:
+    def test_creates_topic_and_counts(self):
+        broker = Broker()
+        n = publish_all(broker, "raw", (Record(float(i), i) for i in range(7)))
+        assert n == 7
+        assert broker.topic("raw").size() == 7
+
+    def test_appends_to_existing(self):
+        broker = Broker()
+        broker.create_topic("raw", partitions=2)
+        publish_all(broker, "raw", [Record(0.0, "a", key="k")])
+        publish_all(broker, "raw", [Record(1.0, "b", key="k")])
+        assert broker.topic("raw").size() == 2
+
+
+class TestDrainConsumer:
+    def test_runs_pipeline_over_all_messages(self):
+        broker = Broker()
+        publish_all(broker, "raw", (Record(float(i), i) for i in range(10)))
+        consumer = broker.consumer("raw", "g")
+        pipeline = Pipeline([Map(lambda x: x * 2), Filter(lambda x: x >= 10)])
+        out = drain_consumer(consumer, pipeline)
+        assert sorted(r.value for r in out) == [10, 12, 14, 16, 18]
+        assert consumer.lag() == 0
+
+    def test_flushes_windows_at_end(self):
+        broker = Broker()
+        publish_all(broker, "raw", [Record(10.0, "a", key="k"), Record(70.0, "b", key="k")])
+        consumer = broker.consumer("raw", "g")
+        pipeline = Pipeline([TumblingWindow(60.0, count_aggregate)])
+        out = drain_consumer(consumer, pipeline)
+        # Both windows closed by the final flush even without watermarks.
+        assert len(out) == 2
+        assert {r.value.value for r in out} == {1}
+
+    def test_empty_topic(self):
+        broker = Broker()
+        broker.create_topic("raw")
+        out = drain_consumer(broker.consumer("raw", "g"), Pipeline([Map(lambda x: x)]))
+        assert out == []
+
+    def test_watermarks_drive_windows(self):
+        broker = Broker()
+        publish_all(broker, "raw", [Record(float(t), "x", key="k") for t in (10, 70, 130)])
+        consumer = broker.consumer("raw", "g")
+        pipeline = Pipeline([TumblingWindow(60.0, count_aggregate)])
+        wm = WatermarkAssigner(out_of_orderness_s=0.0, period_s=30.0)
+        out = drain_consumer(consumer, pipeline, watermarks=wm)
+        assert len(out) == 3

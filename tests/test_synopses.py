@@ -1,0 +1,260 @@
+"""Tests for the Synopses Generator (critical-point detection, reconstruction)."""
+
+import math
+
+import pytest
+
+from repro.geo import PositionFix, Trajectory, destination_point
+from repro.synopses import (
+    AVIATION_CONFIG,
+    CriticalPoint,
+    SynopsesConfig,
+    SynopsesGenerator,
+    reconstruction_error,
+    run_synopses,
+    synopsis_trajectory,
+)
+
+
+def make_fix(t, lon, lat, alt=0.0, speed=None, heading=None, vrate=None, eid="v1"):
+    return PositionFix(entity_id=eid, t=t, lon=lon, lat=lat, alt=alt, speed=speed, heading=heading, vrate=vrate)
+
+
+def straight_cruise(n=100, dt=10.0, speed=8.0, heading=90.0, lat=40.0, eid="v1", t0=0.0, lon0=0.0):
+    """A perfectly straight, constant-speed track heading east."""
+    fixes = []
+    lon, cur_lat = lon0, lat
+    for i in range(n):
+        fixes.append(make_fix(t0 + i * dt, lon, cur_lat, speed=speed, heading=heading, eid=eid))
+        lon, cur_lat = destination_point(lon, cur_lat, heading, speed * dt)
+    return fixes
+
+
+def kinds(points):
+    return [p.kind for p in points]
+
+
+class TestBoundaries:
+    def test_start_and_end(self):
+        gen = SynopsesGenerator()
+        out = list(gen.process_stream(straight_cruise(5)))
+        assert kinds(out)[0] == "start"
+        out += gen.flush()
+        assert kinds(out)[-1] == "end"
+
+    def test_straight_track_compresses_hard(self):
+        gen = SynopsesGenerator()
+        out = list(gen.process_stream(straight_cruise(500))) + gen.flush()
+        # Only start + end should survive a perfectly straight constant cruise.
+        assert len(out) <= 4
+        assert gen.compression_ratio() > 0.98
+
+
+class TestStops:
+    def test_stop_start_and_end(self):
+        cfg = SynopsesConfig(stop_min_duration_s=30.0)
+        fixes = straight_cruise(10, dt=10.0)
+        t0 = fixes[-1].t
+        lon, lat = fixes[-1].lon, fixes[-1].lat
+        stopped = [make_fix(t0 + (i + 1) * 10.0, lon, lat, speed=0.1, heading=90.0) for i in range(10)]
+        moving = [make_fix(t0 + 110.0 + i * 10.0, lon + i * 0.001, lat, speed=8.0, heading=90.0) for i in range(5)]
+        gen = SynopsesGenerator(cfg)
+        out = list(gen.process_stream(fixes + stopped + moving)) + gen.flush()
+        ks = kinds(out)
+        assert "stop_start" in ks and "stop_end" in ks
+        assert ks.index("stop_start") < ks.index("stop_end")
+
+    def test_stop_start_anchored_at_first_slow_fix(self):
+        cfg = SynopsesConfig(stop_min_duration_s=30.0)
+        stopped = [make_fix(i * 10.0, 1.0, 40.0, speed=0.0) for i in range(10)]
+        gen = SynopsesGenerator(cfg)
+        out = list(gen.process_stream(stopped))
+        stop_pts = [p for p in out if p.kind == "stop_start"]
+        # The first fix is the trajectory 'start'; stop tracking engages at the
+        # second fix, so the anchor is the first below-threshold fix after it.
+        assert stop_pts and stop_pts[0].t == 10.0
+
+    def test_brief_dip_below_threshold_not_a_stop(self):
+        cfg = SynopsesConfig(stop_min_duration_s=120.0)
+        fixes = straight_cruise(5)
+        t0 = fixes[-1].t
+        dip = [make_fix(t0 + 10.0, fixes[-1].lon, fixes[-1].lat, speed=0.1, heading=90.0)]
+        resume = straight_cruise(5, t0=t0 + 20.0, lon0=fixes[-1].lon)
+        gen = SynopsesGenerator(cfg)
+        out = list(gen.process_stream(fixes + dip + resume))
+        assert "stop_start" not in kinds(out)
+
+
+class TestSlowMotion:
+    def test_slow_start_end(self):
+        cfg = SynopsesConfig(slow_min_duration_s=60.0)
+        slow = [make_fix(i * 30.0, i * 0.0003, 40.0, speed=1.5, heading=90.0) for i in range(10)]
+        fast = [make_fix(300.0 + i * 10.0, 0.01 + i * 0.001, 40.0, speed=8.0, heading=90.0) for i in range(5)]
+        gen = SynopsesGenerator(cfg)
+        out = list(gen.process_stream(slow + fast))
+        ks = kinds(out)
+        assert "slow_start" in ks and "slow_end" in ks
+
+
+class TestTurns:
+    def test_sharp_turn_detected(self):
+        leg1 = straight_cruise(30, heading=90.0)
+        last = leg1[-1]
+        leg2 = []
+        lon, lat = last.lon, last.lat
+        for i in range(30):
+            lon, lat = destination_point(lon, lat, 180.0, 80.0)
+            leg2.append(make_fix(last.t + (i + 1) * 10.0, lon, lat, speed=8.0, heading=180.0))
+        gen = SynopsesGenerator()
+        out = list(gen.process_stream(leg1 + leg2))
+        assert "turn" in kinds(out)
+
+    def test_no_turn_on_straight(self):
+        gen = SynopsesGenerator()
+        out = list(gen.process_stream(straight_cruise(100)))
+        assert "turn" not in kinds(out)
+
+    def test_turn_rearm_limits_repeats(self):
+        cfg = SynopsesConfig(min_reemit_s=1e9)
+        # Continuous circling: heading rotates steadily.
+        fixes = []
+        lon, lat = 0.0, 40.0
+        for i in range(100):
+            hd = (i * 12.0) % 360.0
+            lon, lat = destination_point(lon, lat, hd, 80.0)
+            fixes.append(make_fix(i * 10.0, lon, lat, speed=8.0, heading=hd))
+        gen = SynopsesGenerator(cfg)
+        out = list(gen.process_stream(fixes))
+        assert kinds(out).count("turn") <= 1
+
+
+class TestSpeedChange:
+    def test_acceleration_detected(self):
+        slow_leg = straight_cruise(30, speed=5.0)
+        last = slow_leg[-1]
+        fast_leg = []
+        lon, lat = last.lon, last.lat
+        for i in range(30):
+            lon, lat = destination_point(lon, lat, 90.0, 150.0)
+            fast_leg.append(make_fix(last.t + (i + 1) * 10.0, lon, lat, speed=15.0, heading=90.0))
+        gen = SynopsesGenerator()
+        out = list(gen.process_stream(slow_leg + fast_leg))
+        assert "speed_change" in kinds(out)
+
+    def test_constant_speed_silent(self):
+        gen = SynopsesGenerator()
+        out = list(gen.process_stream(straight_cruise(200)))
+        assert "speed_change" not in kinds(out)
+
+
+class TestGaps:
+    def test_gap_detected(self):
+        fixes = straight_cruise(5)
+        last = fixes[-1]
+        resumed = straight_cruise(5, t0=last.t + 1200.0, lon0=last.lon + 0.05)
+        gen = SynopsesGenerator()
+        out = list(gen.process_stream(fixes + resumed))
+        ks = kinds(out)
+        assert "gap_start" in ks and "gap_end" in ks
+        gap = next(p for p in out if p.kind == "gap_end")
+        assert gap.detail["gap_s"] == pytest.approx(1200.0 + 10.0, abs=20.0)
+
+    def test_no_gap_for_regular_reports(self):
+        gen = SynopsesGenerator()
+        out = list(gen.process_stream(straight_cruise(50)))
+        assert "gap_start" not in kinds(out)
+
+
+class TestAviationEvents:
+    def test_takeoff_landing(self):
+        cfg = AVIATION_CONFIG
+        ground1 = [make_fix(i * 8.0, 2.0 + i * 0.0005, 41.3, alt=4.0, speed=40.0, heading=90.0, eid="a1") for i in range(3)]
+        climb = [make_fix(24.0 + i * 8.0, 2.01 + i * 0.005, 41.3, alt=700.0 + i * 150.0, speed=120.0, heading=90.0, vrate=15.0, eid="a1") for i in range(10)]
+        descend = [make_fix(104.0 + i * 8.0, 2.08 + i * 0.005, 41.3, alt=max(4.0, 2000.0 - i * 500.0), speed=90.0, heading=90.0, vrate=-10.0, eid="a1") for i in range(6)]
+        gen = SynopsesGenerator(cfg)
+        out = list(gen.process_stream(ground1 + climb + descend))
+        ks = kinds(out)
+        assert "takeoff" in ks
+        assert "landing" in ks
+        assert "altitude_change" in ks
+
+    def test_takeoff_is_last_ground_point(self):
+        cfg = AVIATION_CONFIG
+        ground = [make_fix(0.0, 2.0, 41.3, alt=4.0, speed=40.0, eid="a1")]
+        air = [make_fix(8.0, 2.01, 41.3, alt=900.0, speed=120.0, vrate=20.0, eid="a1")]
+        gen = SynopsesGenerator(cfg)
+        out = list(gen.process_stream(ground + air))
+        tk = next(p for p in out if p.kind == "takeoff")
+        assert tk.t == 0.0  # anchored at the last on-ground fix
+
+    def test_landing_is_first_ground_point(self):
+        cfg = AVIATION_CONFIG
+        air = [make_fix(0.0, 2.0, 41.3, alt=900.0, speed=120.0, eid="a1")]
+        ground = [make_fix(8.0, 2.01, 41.3, alt=4.0, speed=60.0, vrate=-5.0, eid="a1")]
+        gen = SynopsesGenerator(cfg)
+        out = list(gen.process_stream(air + ground))
+        ld = next(p for p in out if p.kind == "landing")
+        assert ld.t == 8.0
+
+
+class TestNoiseFilter:
+    def test_teleport_dropped(self):
+        fixes = straight_cruise(5)
+        outlier = make_fix(fixes[-1].t + 10.0, fixes[-1].lon + 5.0, fixes[-1].lat + 5.0, speed=8.0, heading=90.0)
+        cont = straight_cruise(5, t0=fixes[-1].t + 20.0, lon0=fixes[-1].lon)
+        gen = SynopsesGenerator()
+        list(gen.process_stream(fixes + [outlier] + cont))
+        assert gen.noise_dropped >= 1
+
+    def test_duplicate_time_ignored(self):
+        f = make_fix(0.0, 0.0, 40.0, speed=5.0)
+        gen = SynopsesGenerator()
+        gen.process(f)
+        out = gen.process(make_fix(0.0, 0.001, 40.0, speed=5.0))
+        assert out == []
+
+
+class TestReconstruction:
+    def test_straight_track_low_error(self):
+        fixes = straight_cruise(200)
+        result = run_synopses(fixes)
+        assert result.compression_ratio > 0.9
+        err = result.per_entity_errors["v1"]
+        assert err.rmse_m < 100.0
+
+    def test_synopsis_trajectory_dedupes(self):
+        f = make_fix(0.0, 0.0, 40.0)
+        pts = [CriticalPoint(f, "start"), CriticalPoint(f, "stop_start")]
+        tr = synopsis_trajectory(pts, "v1")
+        assert len(tr) == 1
+
+    def test_reconstruction_error_empty_synopsis(self):
+        with pytest.raises(ValueError):
+            reconstruction_error(Trajectory("v1", [make_fix(0, 0, 0)]), Trajectory("v1", []))
+
+    def test_run_synopses_multi_entity(self):
+        a = straight_cruise(50, eid="a")
+        b = straight_cruise(50, eid="b", lat=42.0)
+        result = run_synopses(a + b)
+        assert set(result.per_entity_errors) == {"a", "b"}
+
+    def test_compression_increases_with_rate(self):
+        """Paper: 80% at moderate rates, up to 99% for very frequent reports."""
+        slow_rate = run_synopses(straight_cruise(60, dt=60.0))
+        fast_rate = run_synopses(straight_cruise(3600, dt=1.0, speed=8.0))
+        assert fast_rate.compression_ratio > slow_rate.compression_ratio
+        assert fast_rate.compression_ratio > 0.99
+
+
+class TestConfigValidation:
+    def test_bad_speeds(self):
+        with pytest.raises(ValueError):
+            SynopsesConfig(stop_speed_ms=5.0, slow_speed_ms=1.0)
+
+    def test_bad_turn_threshold(self):
+        with pytest.raises(ValueError):
+            SynopsesConfig(turn_threshold_deg=0.0)
+
+    def test_bad_gap(self):
+        with pytest.raises(ValueError):
+            SynopsesConfig(gap_threshold_s=-1.0)
