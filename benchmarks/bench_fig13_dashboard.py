@@ -40,7 +40,7 @@ def system_run():
     return system, run, elapsed
 
 
-def test_fig13_end_to_end_pipeline(system_run, console, benchmark):
+def test_fig13_end_to_end_pipeline(system_run, console, benchmark, emit_metrics):
     system, run, elapsed = system_run
     rows = [
         ["raw fixes", run.realtime.raw_fixes],
@@ -55,9 +55,26 @@ def test_fig13_end_to_end_pipeline(system_run, console, benchmark):
         print(format_table("Figure 13 scenario: integrated real-time layer counters", ["stage", "count"], rows, width=22))
         print(f"end-to-end: {run.realtime.raw_fixes / elapsed:,.0f} fixes/s wall-clock "
               f"({elapsed:.2f} s for a 6 h simulated window)")
+    snapshot = emit_metrics(system.metrics, benchmark, title="Fig-13 pipeline metrics (repro.obs)")
+    assert snapshot["counters"]["op.clean.records_in"] == run.realtime.clean_fixes
+    assert snapshot["histograms"]["realtime.fix_latency_s"]["count"] == run.realtime.clean_fixes
+    assert snapshot["histograms"]["realtime.fix_latency_s"]["p95"] > 0.0
     assert run.realtime.raw_fixes / elapsed > run.realtime.raw_fixes / (6 * 3600.0)  # faster than real time
     assert run.realtime.cep_forecasts > 0
     benchmark(lambda: system.dashboard_frame(t=7200.0))
+
+
+def test_fig13_record_lineage(system_run, console):
+    """End-to-end lineage of sampled records through the Figure-2 stages."""
+    system, run, _ = system_run
+    tracer = system.realtime.tracer
+    traces = tracer.traces()
+    assert traces, "tracing is on by default; sampled traces expected"
+    with console():
+        print("\nFigure 13: sampled record lineage (first trace)")
+        print(tracer.lineage(traces[0]))
+    stage_names = {sp.name for sp in tracer.trace(traces[0])}
+    assert {"record", "synopses"} <= stage_names
 
 
 def test_fig13_dashboard_frame_content(system_run, console, benchmark):
@@ -68,5 +85,9 @@ def test_fig13_dashboard_frame_content(system_run, console, benchmark):
         print(frame)
     assert "positions=" in frame
     assert "recent events:" in frame
+    # The observability panel renders live registry contents.
+    assert "operators (records/s" in frame
+    assert "consumer lag:" in frame
+    assert "trajectories.synopses.batch" in frame
     assert system.realtime.dashboard.entity_count() == 20
     benchmark(lambda: system.realtime.dashboard.render_map())

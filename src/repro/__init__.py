@@ -17,8 +17,8 @@ Subpackages mirror the paper's architecture (Figure 2):
 - :mod:`repro.core` -- the integrated real-time + batch pipeline.
 """
 
-__version__ = "1.0.0"
-
 from .core import DatacronSystem, SystemConfig
+
+__version__ = "1.0.0"
 
 __all__ = ["DatacronSystem", "SystemConfig", "__version__"]

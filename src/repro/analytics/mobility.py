@@ -10,7 +10,7 @@ paper's offline complex event analyser discovers on historical data.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from ..synopses import CriticalPoint
 

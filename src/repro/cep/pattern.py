@@ -15,7 +15,6 @@ which is the paper's NorthToSouthReversal pattern R = N (N + E)* S.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Sequence
 
 
 class Pattern:

@@ -14,7 +14,8 @@ from dataclasses import dataclass
 from ..analytics import MobilityPatternReport, mine_mobility_patterns
 from ..geo import BBox
 from ..kgstore import KGStore, LoadReport, STConstraint, star
-from ..rdf import A, Graph, Triple, VOC, var
+from ..obs import MetricsRegistry, instrument_consumer
+from ..rdf import A, Graph, VOC, var
 from ..rdf.rdfizers import synopses_rdfizer
 from ..streams import Broker
 from ..synopses import CriticalPoint
@@ -35,9 +36,23 @@ class BatchReport:
 class BatchLayer:
     """RDF lifting, persistent storage and offline analytics."""
 
-    def __init__(self, config: SystemConfig, broker: Broker, t_origin: float, t_extent_s: float):
+    def __init__(
+        self,
+        config: SystemConfig,
+        broker: Broker,
+        t_origin: float,
+        t_extent_s: float,
+        registry: MetricsRegistry | None = None,
+    ):
         self.config = config
         self.broker = broker
+        # Persistent consumer-group readers: repeated ingests continue from
+        # the committed offsets, and their lag is observable as gauges.
+        self._synopses_consumer = broker.consumer(TOPIC_SYNOPSES, group="batch")
+        self._quality_consumer = broker.consumer(TOPIC_CLEAN, group="quality")
+        if registry is not None:
+            instrument_consumer(self._synopses_consumer, registry)
+            instrument_consumer(self._quality_consumer, registry)
         self.store = KGStore(
             config.bbox,
             t_origin=t_origin,
@@ -53,7 +68,7 @@ class BatchLayer:
 
     def ingest_from_broker(self) -> BatchReport:
         """Drain the synopses topic (batch consumer group) into the KG store."""
-        consumer = self.broker.consumer(TOPIC_SYNOPSES, group="batch")
+        consumer = self._synopses_consumer
         points: list[CriticalPoint] = []
         while True:
             records = consumer.poll(max_messages=10_000)
@@ -104,7 +119,7 @@ class BatchLayer:
 
     def data_quality(self) -> DataQualityReport:
         """Offline quality assessment over the cleaned surveillance history."""
-        consumer = self.broker.consumer(TOPIC_CLEAN, group="quality")
+        consumer = self._quality_consumer
         fixes = []
         while True:
             records = consumer.poll(max_messages=10_000)

@@ -31,3 +31,5 @@ class SystemConfig:
     proximity_time_s: float = 300.0
     grid_cell_deg: float = 0.5
     seed: int = 7
+    #: Trace every Nth clean fix end to end (0 disables lineage tracing).
+    trace_sample_every: int = 256

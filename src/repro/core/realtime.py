@@ -16,7 +16,8 @@ through their own consumer groups).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from time import perf_counter
+from typing import Any, Iterable
 
 from ..cep import (
     SimpleEvent,
@@ -28,13 +29,14 @@ from ..cep import (
 from ..datasources import generate_ports, generate_regions
 from ..datasources.weather import WeatherField
 from ..geo import PositionFix
-from ..insitu import AreaEventDetector, QualityReport, RegionIndex, clean_stream, stats_for_fixes
+from ..insitu import AreaEventDetector, QualityReport, RegionIndex, clean_stream
 from ..linkdiscovery import (
     Link,
     MovingProximityDiscoverer,
     PortLinkDiscoverer,
     RegionLinkDiscoverer,
 )
+from ..obs import MetricsRegistry, OperatorProbe, Tracer, consumer_lags, instrument_broker, operator_rates
 from ..streams import Broker, Record
 from ..synopses import CriticalPoint, SynopsesGenerator
 from ..va import Dashboard
@@ -76,9 +78,18 @@ class RealtimeLayer:
     def __init__(self, config: SystemConfig | None = None, cep_training_symbols: list[str] | None = None):
         self.config = config or SystemConfig()
         cfg = self.config
+        self.metrics = MetricsRegistry(seed=cfg.seed)
+        self.tracer = Tracer()
         self.broker = Broker()
         for topic in (TOPIC_RAW, TOPIC_CLEAN, TOPIC_SYNOPSES, TOPIC_LINKS, TOPIC_EVENTS):
             self.broker.create_topic(topic, partitions=2)
+        instrument_broker(self.broker, self.metrics)
+        # Per-stage probes: the Figure-2 hops report under the same
+        # ``op.<name>.*`` namespace as instrumented stream operators.
+        self._probes = {
+            name: OperatorProbe(self.metrics, name)
+            for name in ("clean", "area_events", "synopses", "link_discovery", "cep")
+        }
         self.regions = generate_regions(cfg.n_regions, bbox=cfg.bbox, seed=cfg.seed)
         self.ports = generate_ports(cfg.n_ports, bbox=cfg.bbox, seed=cfg.seed + 1)
         self.synopses = SynopsesGenerator(cfg.synopses)
@@ -92,7 +103,7 @@ class RealtimeLayer:
         self.proximity = MovingProximityDiscoverer(
             cfg.bbox, cfg.proximity_space_m, cfg.proximity_time_s, cell_deg=cfg.grid_cell_deg
         )
-        self.dashboard = Dashboard(cfg.bbox)
+        self.dashboard = Dashboard(cfg.bbox, registry=self.metrics)
         self.weather = WeatherField(bbox=cfg.bbox, seed=cfg.seed + 2)
         self.cep: WayebEngine | None = None
         if cep_training_symbols:
@@ -101,38 +112,70 @@ class RealtimeLayer:
             )
             self.cep.train(cep_training_symbols)
         self._cep_state = None
+        self._wall_s = 0.0
         self.report = RealtimeReport()
 
     def run(self, fixes: Iterable[PositionFix]) -> RealtimeReport:
         """Push a bounded surveillance stream through the whole layer."""
         report = self.report
+        probes = self._probes
+        tracer = self.tracer
+        trace_every = self.config.trace_sample_every
+        fix_latency = self.metrics.histogram("realtime.fix_latency_s")
         cep_events: list[SimpleEvent] = []
         raw_topic = self.broker.topic(TOPIC_RAW)
         clean_topic = self.broker.topic(TOPIC_CLEAN)
         syn_topic = self.broker.topic(TOPIC_SYNOPSES)
         link_topic = self.broker.topic(TOPIC_LINKS)
+        raw_counter = self.metrics.counter("stage.raw.records")
 
         def raw_stream():
             for fix in fixes:
                 report.raw_fixes += 1
+                raw_counter.inc()
                 raw_topic.publish(Record(fix.t, fix, key=fix.entity_id))
                 yield fix
 
-        for fix in clean_stream(raw_stream(), config=self.config.quality, report=report.quality):
+        wall_start = perf_counter()
+        clean_it = iter(clean_stream(raw_stream(), config=self.config.quality, report=report.quality))
+        while True:
+            fix_start = perf_counter()
+            try:
+                fix = next(clean_it)
+            except StopIteration:
+                break
+            # Ingest + online cleaning latency is the time to surface this fix.
+            probes["clean"].observe(1, perf_counter() - fix_start)
+            span = None
+            if trace_every and report.clean_fixes % trace_every == 0:
+                span = tracer.start_trace("record", entity_id=fix.entity_id, t=fix.t)
             report.clean_fixes += 1
             clean_topic.publish(Record(fix.t, fix, key=fix.entity_id))
             self.dashboard.ingest_fix(fix)
             # Low-level area events.
+            child = tracer.start_span("area_events", span) if span else None
+            t0 = perf_counter()
             area_events = self.area_detector.process(fix)
+            probes["area_events"].observe(len(area_events), perf_counter() - t0)
+            if child:
+                tracer.finish(child)
             report.area_events += len(area_events)
             # Synopses.
+            child = tracer.start_span("synopses", span) if span else None
+            t0 = perf_counter()
             points = self.synopses.process(fix)
+            probes["synopses"].observe(len(points), perf_counter() - t0)
+            if child:
+                tracer.finish(child)
             for cp in points:
                 report.critical_points += 1
                 syn_topic.publish(Record(cp.t, cp, key=cp.entity_id))
                 self.dashboard.ingest_critical_point(cp)
-                self._enrich(cp, link_topic, report)
+                self._enrich(cp, link_topic, report, parent_span=span)
                 cep_events.extend(turn_event_stream([cp]))
+            fix_latency.observe(perf_counter() - fix_start)
+            if span:
+                tracer.finish(span)
         # Trailing synopsis points.
         for cp in self.synopses.flush():
             report.critical_points += 1
@@ -141,16 +184,36 @@ class RealtimeLayer:
             cep_events.extend(turn_event_stream([cp]))
         # Complex event recognition & forecasting over the synopsis stream.
         if self.cep is not None and cep_events:
+            t0 = perf_counter()
             run = self.cep.run(cep_events)
             report.cep_detections += len(run.detections)
             report.cep_forecasts += len(run.forecasts)
+            probes["cep"].observe(
+                len(run.detections) + len(run.forecasts), perf_counter() - t0, n_in=len(cep_events)
+            )
             events_topic = self.broker.topic(TOPIC_EVENTS)
             for det in run.detections:
                 events_topic.publish(Record(det.t, det))
                 self.dashboard.ingest_alert(det.t, "NorthToSouthReversal")
+        self._wall_s += perf_counter() - wall_start
+        self.metrics.gauge("realtime.wall_s").set(self._wall_s)
         return report
 
-    def _enrich(self, cp: CriticalPoint, link_topic, report: RealtimeReport) -> None:
+    def system_metrics(self) -> dict[str, Any]:
+        """The observability view of this layer: registry snapshot plus
+        the derived per-operator rates and consumer lags the dashboard shows."""
+        snap = self.metrics.snapshot()
+        snap["operators"] = operator_rates(self.metrics)
+        snap["consumer_lag"] = consumer_lags(self.metrics)
+        return snap
+
+    def _enrich(
+        self,
+        cp: CriticalPoint,
+        link_topic,
+        report: RealtimeReport,
+        parent_span=None,
+    ) -> None:
         """Run link discovery and weather enrichment for one critical point."""
         sample = self.weather.sample(cp.fix.lon, cp.fix.lat, cp.t)
         cp.detail["weather"] = {
@@ -158,6 +221,8 @@ class RealtimeLayer:
             "wind_v_ms": sample.wind_v_ms,
             "wave_m": sample.wave_height_m,
         }
+        child = self.tracer.start_span("link_discovery", parent_span) if parent_span else None
+        t0 = perf_counter()
         links: list[Link] = []
         found, _ = self.region_links.links_for(cp.fix)
         links.extend(found)
@@ -166,6 +231,9 @@ class RealtimeLayer:
         prox = self.proximity.process(cp.fix)
         report.proximity_links += len(prox)
         links.extend(prox)
+        self._probes["link_discovery"].observe(len(links), perf_counter() - t0)
+        if child:
+            self.tracer.finish(child)
         report.links += len(links)
         for link in links:
             link_topic.publish(Record(link.t, link, key=link.source_id))

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..geo import PositionFix
 
 from .batch import BatchLayer, BatchReport
 from .config import SystemConfig
@@ -31,13 +30,24 @@ class DatacronSystem:
     ):
         self.config = config or SystemConfig()
         self.realtime = RealtimeLayer(self.config, cep_training_symbols=cep_training_symbols)
-        self.batch = BatchLayer(self.config, self.realtime.broker, t_origin, t_extent_s)
+        self.batch = BatchLayer(
+            self.config, self.realtime.broker, t_origin, t_extent_s, registry=self.realtime.metrics
+        )
 
     def run(self, fixes) -> SystemRun:
         """Process a bounded surveillance stream through both layers."""
         realtime_report = self.realtime.run(fixes)
         batch_report = self.batch.ingest_from_broker()
         return SystemRun(realtime=realtime_report, batch=batch_report)
+
+    @property
+    def metrics(self):
+        """The system-wide metrics registry (lives on the real-time layer)."""
+        return self.realtime.metrics
+
+    def system_metrics(self) -> dict:
+        """Registry snapshot plus derived operator rates and consumer lags."""
+        return self.realtime.system_metrics()
 
     def dashboard_frame(self, t: float | None = None) -> str:
         """The current Figure-13 dashboard frame."""

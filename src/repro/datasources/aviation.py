@@ -27,7 +27,7 @@ import random
 from dataclasses import dataclass, field
 
 from ..geo import GeoPoint, LocalProjection, PositionFix, Trajectory
-from ..geo.geometry import destination_point, haversine_m, initial_bearing_deg
+from ..geo.geometry import destination_point, haversine_m
 from ..geo.units import flight_level_to_m, normalize_heading
 
 from .registry import AircraftRecord, generate_aircraft_registry

@@ -20,7 +20,6 @@ forecasting experiment (Figure 8) is trained and evaluated on.
 from __future__ import annotations
 
 import heapq
-import math
 import random
 from dataclasses import dataclass, field
 from typing import Iterator

@@ -109,7 +109,14 @@ class EquiGrid:
         return [r * self.cols + c for c, r in self.neighbours(col, row, radius)]
 
     def cells_overlapping_bbox(self, box: BBox) -> Iterator[tuple[int, int]]:
-        """All (col, row) whose cell box intersects the given bbox."""
+        """All (col, row) whose cell box intersects the given bbox.
+
+        A box disjoint from the grid extent overlaps nothing: without this
+        check, the clamping in :meth:`locate` would map an out-of-area
+        query onto border cells and fabricate phantom overlaps.
+        """
+        if not self.bbox.intersects(box):
+            return
         c0, r0 = self.locate(box.min_lon, box.min_lat)
         c1, r1 = self.locate(box.max_lon, box.max_lat)
         for row in range(r0, r1 + 1):

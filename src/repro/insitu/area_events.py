@@ -8,7 +8,7 @@ overlapping the fix's cell rather than the full region catalogue.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from ..datasources.regions import Region

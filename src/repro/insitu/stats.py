@@ -12,10 +12,10 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Iterable
 
 from ..geo import PositionFix
-from ..streams import KeyedProcess, Record
+from ..streams import KeyedProcess
 
 
 class OnlineStats:

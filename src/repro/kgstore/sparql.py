@@ -17,7 +17,7 @@ plus an optional :class:`STConstraint`, e.g.::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Union
 
 from ..geo import BBox

@@ -18,14 +18,14 @@ constraints; the bench measures the same ratio on this engine.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 from ..geo import BBox, EquiGrid, SpatioTemporalGrid, parse_point
-from ..rdf import IRI, Literal, Term, Triple, Variable, VOC
+from ..rdf import Literal, Term, Triple, Variable, VOC
 
 from .encoding import Dictionary, STPosition
-from .layouts import LAYOUTS, PropertyTable, TriplesTable, VerticalPartitioning
+from .layouts import LAYOUTS, PropertyTable
 from .sparql import STConstraint, StarQuery
 
 

@@ -12,7 +12,7 @@ book-keeping instead.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..datasources.ports import Port
 from ..datasources.regions import Region

@@ -9,7 +9,7 @@ cell masks, measuring throughput in entities (points) per second.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..datasources.ports import Port

@@ -22,9 +22,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ..datasources.regions import Region
-from ..geo import BBox, EquiGrid
-
 from .blocking import RegionBlocks
 
 

@@ -1,0 +1,39 @@
+"""Observability (S-obs): metrics and tracing for the whole pipeline.
+
+The paper judges every datAcron component by throughput and latency
+numbers (Sections 4-5); this package is where the reproduction measures
+them. One :class:`MetricsRegistry` per system instance holds counters,
+gauges and deterministic reservoir histograms; operators, pipelines and
+the broker are wired in through :mod:`repro.obs.instrument`; and a
+:class:`Tracer` follows sampled records end to end through the
+Figure-2 real-time layer.
+"""
+
+from .instrument import (
+    OperatorProbe,
+    consumer_lags,
+    instrument_broker,
+    instrument_consumer,
+    instrument_operator,
+    instrument_pipeline,
+    operator_rates,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, format_snapshot
+from .tracing import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OperatorProbe",
+    "Span",
+    "Tracer",
+    "consumer_lags",
+    "format_snapshot",
+    "instrument_broker",
+    "instrument_consumer",
+    "instrument_operator",
+    "instrument_pipeline",
+    "operator_rates",
+]

@@ -1,0 +1,230 @@
+"""Metrics primitives: counters, gauges and streaming histograms.
+
+The paper evaluates every datAcron component by throughput and latency
+(entities/s in link discovery, records/s in the synopses generator,
+frame latency in the VA layer). This module is the single place those
+numbers come from in the reproduction: a :class:`MetricsRegistry` holds
+named counters, gauges and fixed-memory histograms, and every
+instrumented component (operators, pipelines, the broker, the
+integrated real-time layer) writes into one.
+
+Histograms keep a bounded uniform sample of observations (reservoir
+sampling, algorithm R) so that quantiles — the p50/p95/p99 latencies
+the paper quotes — cost O(reservoir) memory regardless of stream
+length. The reservoir RNG is seeded deterministically from the metric
+name, so snapshots are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+
+def _fnv1a(text: str) -> int:
+    """Deterministic 32-bit string hash (Python's builtin hash is salted)."""
+    h = 2166136261
+    for ch in text.encode("utf-8"):
+        h = (h ^ ch) * 16777619 % (1 << 32)
+    return h
+
+
+@dataclass(slots=True)
+class Counter:
+    """A monotonically increasing count (records seen, links emitted, ...)."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, by: int = 1) -> None:
+        if by < 0:
+            raise ValueError("counters only go up; use a Gauge for levels")
+        self.value += by
+
+
+class Gauge:
+    """A point-in-time level: queue depth, consumer lag, wall seconds.
+
+    Either set explicitly with :meth:`set`, or back it with a callback so
+    that reading the gauge always reflects live state (how lag gauges
+    track a consumer without the consumer pushing updates).
+    """
+
+    def __init__(self, name: str, fn: Callable[[], float] | None = None):
+        self.name = name
+        self._fn = fn
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise ValueError(f"gauge {self.name!r} is callback-backed; cannot set")
+        self._value = value
+
+    def value(self) -> float:
+        return float(self._fn()) if self._fn is not None else self._value
+
+
+class Histogram:
+    """A streaming distribution summary with bounded memory.
+
+    Tracks exact count/sum/min/max and an unbiased uniform sample of the
+    observations (reservoir sampling) from which quantiles are read.
+    """
+
+    def __init__(self, name: str, reservoir_size: int = 512, seed: int | None = None):
+        if reservoir_size < 1:
+            raise ValueError("reservoir must hold at least one sample")
+        self.name = name
+        self.reservoir_size = reservoir_size
+        self._rng = random.Random(_fnv1a(name) if seed is None else seed)
+        self._reservoir: list[float] = []
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._reservoir) < self.reservoir_size:
+            self._reservoir.append(value)
+        else:
+            # Algorithm R: keep each of the n observations with prob k/n.
+            j = self._rng.randrange(self.count)
+            if j < self.reservoir_size:
+                self._reservoir[j] = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile over the reservoir (exact while unsaturated)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        rank = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[rank]
+
+    def quantiles(self, qs: tuple[float, ...] = (0.5, 0.95, 0.99)) -> dict[str, float]:
+        ordered = sorted(self._reservoir)
+        out = {}
+        for q in qs:
+            if not ordered:
+                out[f"p{int(q * 100)}"] = 0.0
+            else:
+                out[f"p{int(q * 100)}"] = ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+        return out
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            **self.quantiles(),
+        }
+
+
+class MetricsRegistry:
+    """The named home of every metric in one system instance.
+
+    Get-or-create accessors keep call sites one-liners::
+
+        registry.counter("stage.clean.records").inc()
+        with registry.time("op.synopses.latency_s"):
+            ...
+
+    ``seed`` makes every histogram's reservoir deterministic, so two runs
+    over the same stream produce byte-identical snapshots.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- accessors ---------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str, fn: Callable[[], float] | None = None) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name, fn)
+        elif fn is not None:
+            g._fn = fn  # re-binding a callback gauge replaces its source
+        return g
+
+    def histogram(self, name: str, reservoir_size: int = 512) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(
+                name, reservoir_size=reservoir_size, seed=self.seed ^ _fnv1a(name)
+            )
+        return h
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        """Time a block into the named latency histogram (seconds)."""
+        hist = self.histogram(name)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            hist.observe(time.perf_counter() - start)
+
+    # -- introspection -----------------------------------------------------------
+
+    def counters(self, prefix: str = "") -> dict[str, int]:
+        return {n: c.value for n, c in sorted(self._counters.items()) if n.startswith(prefix)}
+
+    def gauges(self, prefix: str = "") -> dict[str, float]:
+        return {n: g.value() for n, g in sorted(self._gauges.items()) if n.startswith(prefix)}
+
+    def snapshot(self) -> dict[str, Any]:
+        """The full registry as plain data (JSON-serializable)."""
+        return {
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "histograms": {n: h.snapshot() for n, h in sorted(self._histograms.items())},
+        }
+
+
+def format_snapshot(snapshot: dict[str, Any], title: str = "metrics snapshot") -> str:
+    """Render a registry snapshot as an aligned text block (for benches)."""
+    lines = [f"== {title} =="]
+    counters = snapshot.get("counters", {})
+    if counters:
+        width = max(len(n) for n in counters)
+        lines.append("counters:")
+        lines.extend(f"  {n:<{width}}  {v:>12,}" for n, v in counters.items())
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        width = max(len(n) for n in gauges)
+        lines.append("gauges:")
+        lines.extend(f"  {n:<{width}}  {v:>12,.3f}" for n, v in gauges.items())
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms (seconds unless named otherwise):")
+        for name, h in histograms.items():
+            lines.append(
+                f"  {name}: n={h['count']:,} mean={h['mean']:.6f} "
+                f"p50={h['p50']:.6f} p95={h['p95']:.6f} p99={h['p99']:.6f} max={h['max']:.6f}"
+            )
+    return "\n".join(lines)

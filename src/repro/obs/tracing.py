@@ -1,0 +1,143 @@
+"""Span-based tracing: end-to-end record lineage through the dataflow.
+
+The paper's Figure-2 real-time layer is a chain of components
+(cleaning -> in-situ statistics -> synopses -> link discovery -> CEP),
+and its time-critical claims are about how long a surveillance record
+takes to traverse that chain. A :class:`Tracer` records that traversal
+as a tree of spans — one trace per sampled record, one span per stage —
+so a single position fix can be followed from raw arrival to enriched
+output with per-stage wall-clock timings.
+
+Span ids are sequential integers and the clock is injectable, keeping
+traces deterministic in tests.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass(slots=True)
+class Span:
+    """One timed stage of one traced record's journey."""
+
+    span_id: int
+    trace_id: int
+    parent_id: int | None
+    name: str
+    start: float
+    end: float | None = None
+    tags: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+
+class Tracer:
+    """Collects spans, grouped into traces (one trace = one record lineage)."""
+
+    def __init__(self, clock: Callable[[], float] | None = None, max_spans: int = 100_000):
+        self._clock = clock or time.perf_counter
+        self.max_spans = max_spans
+        self._spans: list[Span] = []
+        self._next_span_id = 0
+        self._next_trace_id = 0
+        self.dropped_spans = 0
+
+    # -- recording ---------------------------------------------------------------
+
+    def start_trace(self, name: str, **tags: Any) -> Span:
+        """Open a root span; its trace id groups every descendant."""
+        trace_id = self._next_trace_id
+        self._next_trace_id += 1
+        return self._open(name, trace_id, parent_id=None, tags=tags)
+
+    def start_span(self, name: str, parent: Span, **tags: Any) -> Span:
+        """Open a child span under ``parent``."""
+        return self._open(name, parent.trace_id, parent_id=parent.span_id, tags=tags)
+
+    def finish(self, span: Span) -> Span:
+        if span.end is None:
+            span.end = self._clock()
+        return span
+
+    @contextmanager
+    def span(self, name: str, parent: Span | None = None, **tags: Any) -> Iterator[Span]:
+        """Context-managed span: a root trace when ``parent`` is None."""
+        sp = self.start_trace(name, **tags) if parent is None else self.start_span(name, parent, **tags)
+        try:
+            yield sp
+        finally:
+            self.finish(sp)
+
+    def _open(self, name: str, trace_id: int, parent_id: int | None, tags: dict[str, Any]) -> Span:
+        span = Span(
+            span_id=self._next_span_id,
+            trace_id=trace_id,
+            parent_id=parent_id,
+            name=name,
+            start=self._clock(),
+            tags=dict(tags),
+        )
+        self._next_span_id += 1
+        if len(self._spans) < self.max_spans:
+            self._spans.append(span)
+        else:
+            self.dropped_spans += 1
+        return span
+
+    # -- querying ----------------------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        return list(self._spans)
+
+    def traces(self) -> list[int]:
+        """Trace ids in first-seen order."""
+        seen: dict[int, None] = {}
+        for sp in self._spans:
+            seen.setdefault(sp.trace_id, None)
+        return list(seen)
+
+    def trace(self, trace_id: int) -> list[Span]:
+        """All spans of one trace, in creation order."""
+        return [sp for sp in self._spans if sp.trace_id == trace_id]
+
+    def lineage(self, trace_id: int) -> str:
+        """Render one trace as an indented stage tree with timings."""
+        spans = self.trace(trace_id)
+        if not spans:
+            return f"(trace {trace_id}: no spans)"
+        children: dict[int | None, list[Span]] = {}
+        for sp in spans:
+            children.setdefault(sp.parent_id, []).append(sp)
+        lines: list[str] = []
+
+        def walk(sp: Span, depth: int) -> None:
+            tag_str = " ".join(f"{k}={v}" for k, v in sp.tags.items())
+            lines.append(
+                "  " * depth
+                + f"{sp.name} [{sp.duration_s * 1e3:.3f} ms]"
+                + (f" {tag_str}" if tag_str else "")
+            )
+            for child in children.get(sp.span_id, []):
+                walk(child, depth + 1)
+
+        for root in children.get(None, []):
+            walk(root, 0)
+        return "\n".join(lines)
+
+    def stage_durations(self) -> dict[str, list[float]]:
+        """Finished-span durations grouped by span name (for aggregation)."""
+        out: dict[str, list[float]] = {}
+        for sp in self._spans:
+            if sp.finished:
+                out.setdefault(sp.name, []).append(sp.duration_s)
+        return out

@@ -15,7 +15,7 @@ import math
 from dataclasses import dataclass
 
 from ..datasources.aviation import SimulatedFlight
-from ..geo import LocalProjection, PositionFix
+from ..geo import LocalProjection
 
 
 @dataclass(frozen=True, slots=True)

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..geo import LocalProjection, PositionFix, Trajectory
+from ..geo import LocalProjection, PositionFix
 from ..geo.units import heading_difference
 
 

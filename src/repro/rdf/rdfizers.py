@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator, Mapping
+from typing import Any, Iterable, Iterator
 
 from ..datasources.ports import Port
 from ..datasources.regions import Region
@@ -22,7 +22,7 @@ from ..geo.geometry import GeoPoint
 from ..synopses import CriticalPoint
 
 from .connectors import DataConnector, IterableConnector
-from .templates import GraphTemplate, TriplePattern, fn, var
+from .templates import GraphTemplate, TriplePattern, var
 from .terms import IRI, Literal, Triple
 from .vocabulary import A, VOC, entity_iri, node_iri
 

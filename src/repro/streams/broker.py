@@ -91,12 +91,22 @@ class Consumer:
         self.topic = topic
         self.group = group
         self._offsets = [0] * topic.partitions
+        self._next_partition = 0  # where the next capped poll resumes scanning
 
     def poll(self, max_messages: int | None = None) -> list[Record]:
-        """Fetch and acknowledge the next batch, interleaving partitions in offset order."""
+        """Fetch and acknowledge the next batch, interleaving partitions in offset order.
+
+        The scan starts at a rotating partition: when ``max_messages`` caps
+        a batch, the next poll resumes *after* the partition that exhausted
+        the budget. A fixed scan order would let a busy low-numbered
+        partition starve the rest indefinitely under sustained load.
+        """
         fetched: list[TopicMessage] = []
         budget = max_messages
-        for part in range(self.topic.partitions):
+        n = self.topic.partitions
+        start = self._next_partition
+        for i in range(n):
+            part = (start + i) % n
             msgs = self.topic.read(part, self._offsets[part], budget)
             if msgs:
                 self._offsets[part] = msgs[-1].offset + 1
@@ -104,13 +114,18 @@ class Consumer:
                 if budget is not None:
                     budget -= len(msgs)
                     if budget <= 0:
+                        self._next_partition = (part + 1) % n
                         break
         fetched.sort(key=lambda m: (m.record.t, m.offset))
         return [m.record for m in fetched]
 
     def lag(self) -> int:
         """Messages published but not yet consumed by this group."""
-        return sum(max(0, end - off) for end, off in zip(self.topic.end_offsets(), self._offsets))
+        return sum(self.partition_lags())
+
+    def partition_lags(self) -> list[int]:
+        """Per-partition messages published but not yet consumed."""
+        return [max(0, end - off) for end, off in zip(self.topic.end_offsets(), self._offsets)]
 
     def seek_to_beginning(self) -> None:
         """Rewind to the earliest retained offsets (batch-layer replay)."""
@@ -139,8 +154,27 @@ class Broker:
         except KeyError:
             raise KeyError(f"unknown topic {name!r}; create it first") from None
 
-    def get_or_create(self, name: str, partitions: int = 1) -> Topic:
-        return self._topics.get(name) or self.create_topic(name, partitions=partitions)
+    def get_or_create(self, name: str, partitions: int | None = None, retention: int | None = None) -> Topic:
+        """Fetch a topic, creating it on first use.
+
+        ``partitions``/``retention`` left as ``None`` accept whatever the
+        existing topic has (and default to 1 / unbounded on creation).
+        Passing explicit values against an existing topic that differs is
+        an error — silently handing back a mismatched topic would corrupt
+        key-to-partition routing or retention expectations.
+        """
+        topic = self._topics.get(name)
+        if topic is None:
+            return self.create_topic(name, partitions=partitions if partitions is not None else 1, retention=retention)
+        if partitions is not None and topic.partitions != partitions:
+            raise ValueError(
+                f"topic {name!r} exists with {topic.partitions} partitions; requested {partitions}"
+            )
+        if retention is not None and topic.retention != retention:
+            raise ValueError(
+                f"topic {name!r} exists with retention={topic.retention}; requested {retention}"
+            )
+        return topic
 
     def consumer(self, topic_name: str, group: str) -> Consumer:
         """Open a consumer for ``group`` on the named topic."""

@@ -13,6 +13,7 @@ union of streams.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable, Generic, Iterable, TypeVar
 
 from .record import Record, StreamElement, StreamStats, Watermark
@@ -28,6 +29,9 @@ class Operator:
 
     def __init__(self):
         self.stats = StreamStats()
+        #: Optional metrics hook (an ``repro.obs.OperatorProbe``); attached by
+        #: ``repro.obs.instrument_operator`` — streams stays obs-agnostic.
+        self.probe = None
 
     def process(self, element: StreamElement) -> list[StreamElement]:
         """Feed one element; returns emitted elements (watermarks pass through)."""
@@ -36,8 +40,15 @@ class Operator:
             self.stats.watermarks += 1
             return out
         self.stats.saw_record(element)
-        out = self.on_record(element)
-        self.stats.emitted(sum(1 for e in out if isinstance(e, Record)))
+        if self.probe is not None:
+            start = perf_counter()
+            out = self.on_record(element)
+            n_out = sum(1 for e in out if isinstance(e, Record))
+            self.probe.observe(n_out, perf_counter() - start)
+        else:
+            out = self.on_record(element)
+            n_out = sum(1 for e in out if isinstance(e, Record))
+        self.stats.emitted(n_out)
         return out
 
     def process_many(self, elements: Iterable[StreamElement]) -> list[StreamElement]:
@@ -57,6 +68,10 @@ class Operator:
     def flush(self) -> list[StreamElement]:
         """Emit anything still buffered (end-of-stream). Default: nothing."""
         return []
+
+    def pending(self) -> int:
+        """How many elements are buffered awaiting a watermark (queue depth)."""
+        return 0
 
 
 class Map(Operator):

@@ -76,6 +76,9 @@ class TumblingWindow(Operator):
         """Close every remaining window (end of stream)."""
         return self._fire(lambda start: True)
 
+    def pending(self) -> int:
+        return sum(len(v) for v in self._buffers.values())
+
     def _fire(self, should_close: Callable[[float], bool]) -> list[StreamElement]:
         ready = sorted(
             (k for k in self._buffers if should_close(k[1])),
@@ -91,11 +94,24 @@ class TumblingWindow(Operator):
 
 
 class SlidingWindow(Operator):
-    """Overlapping event-time windows of ``size_s`` sliding every ``slide_s``."""
+    """Overlapping event-time windows of ``size_s`` sliding every ``slide_s``.
+
+    ``allowed_lateness_s`` has the same semantics as in
+    :class:`TumblingWindow`: a window only closes (and its records are
+    only considered late) once the watermark passes window end *plus* the
+    allowance — so the two window types drop identical records on the
+    same stream.
+    """
 
     name = "sliding_window"
 
-    def __init__(self, size_s: float, slide_s: float, aggregate: Callable[[list[Any]], Any]):
+    def __init__(
+        self,
+        size_s: float,
+        slide_s: float,
+        aggregate: Callable[[list[Any]], Any],
+        allowed_lateness_s: float = 0.0,
+    ):
         super().__init__()
         if size_s <= 0 or slide_s <= 0:
             raise ValueError("window size and slide must be positive")
@@ -104,6 +120,7 @@ class SlidingWindow(Operator):
         self.size_s = size_s
         self.slide_s = slide_s
         self.aggregate = aggregate
+        self.allowed_lateness_s = allowed_lateness_s
         self._buffers: dict[tuple[str | None, float], list[Any]] = {}
         self._watermark = -math.inf
         self.late_records = 0
@@ -117,13 +134,13 @@ class SlidingWindow(Operator):
             start -= self.slide_s
 
     def on_record(self, record: Record) -> list[StreamElement]:
-        emitted_any = False
+        added_any = False
         for start in self._starts_for(record.t):
-            if start + self.size_s <= self._watermark:
+            if start + self.size_s + self.allowed_lateness_s <= self._watermark:
                 continue
             self._buffers.setdefault((record.key, start), []).append(record.value)
-            emitted_any = True
-        if not emitted_any:
+            added_any = True
+        if not added_any:
             self.late_records += 1
             self.stats.dropped += 1
         return []
@@ -131,7 +148,7 @@ class SlidingWindow(Operator):
     def on_watermark(self, watermark: Watermark) -> list[StreamElement]:
         self._watermark = max(self._watermark, watermark.time)
         ready = sorted(
-            (k for k in self._buffers if k[1] + self.size_s <= self._watermark),
+            (k for k in self._buffers if k[1] + self.size_s + self.allowed_lateness_s <= self._watermark),
             key=lambda k: (k[1], k[0] or ""),
         )
         out: list[StreamElement] = []
@@ -150,6 +167,9 @@ class SlidingWindow(Operator):
             values = self._buffers.pop((key, start))
             out.append(Record(t=start + self.size_s, value=WindowResult(key, start, start + self.size_s, self.aggregate(values)), key=key))
         return out
+
+    def pending(self) -> int:
+        return sum(len(v) for v in self._buffers.values())
 
 
 def count_aggregate(values: list[Any]) -> int:

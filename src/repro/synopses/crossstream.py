@@ -24,8 +24,7 @@ Synopses Generator then consumes unchanged. Fusion rules:
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from ..geo import PositionFix

@@ -18,7 +18,6 @@ event stream, and to the RDFizers as ``semantic nodes``.
 
 from __future__ import annotations
 
-import math
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator

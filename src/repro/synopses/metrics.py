@@ -12,7 +12,7 @@ import time
 from dataclasses import dataclass
 from typing import Iterable
 
-from ..geo import PositionFix, Trajectory, group_fixes_by_entity
+from ..geo import PositionFix, group_fixes_by_entity
 
 from .config import SynopsesConfig
 from .detector import CriticalPoint, SynopsesGenerator

@@ -12,9 +12,9 @@ the same streams the rest of the system exchanges.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
 
 from ..geo import BBox, EquiGrid, PositionFix
+from ..obs import MetricsRegistry, consumer_lags, operator_rates
 from ..synopses import CriticalPoint
 
 #: Density glyphs, lightest to darkest.
@@ -45,27 +45,54 @@ class DashboardState:
 
 
 class Dashboard:
-    """Renders DashboardState frames over a fixed geographic extent."""
+    """Renders DashboardState frames over a fixed geographic extent.
 
-    def __init__(self, bbox: BBox, cols: int = 64, rows: int = 20, title: str = "situation monitor"):
+    With a :class:`~repro.obs.MetricsRegistry` attached, the information-
+    layer counters live in the registry (``dashboard.*`` counters) and
+    the frame gains an observability section — per-operator records/s
+    and broker consumer lag — rendered straight from registry contents.
+    """
+
+    def __init__(
+        self,
+        bbox: BBox,
+        cols: int = 64,
+        rows: int = 20,
+        title: str = "situation monitor",
+        registry: MetricsRegistry | None = None,
+    ):
         self.bbox = bbox
         self.grid = EquiGrid(bbox, cols, rows)
         self.title = title
+        self.registry = registry
         self.state = DashboardState()
+
+    def _bump(self, counter: str, by: int = 1) -> None:
+        if self.registry is not None:
+            self.registry.counter(f"dashboard.{counter}").inc(by)
+        else:
+            self.state.bump(counter, by)
 
     # -- stream feeding -----------------------------------------------------------
 
     def ingest_fix(self, fix: PositionFix) -> None:
-        self.state.update_position(fix)
+        self.state.last_position[fix.entity_id] = fix
+        self._bump("positions")
 
     def ingest_critical_point(self, point: CriticalPoint) -> None:
-        self.state.bump("synopses")
+        self._bump("synopses")
         if point.kind in ("gap_start", "stop_start", "turn"):
-            self.state.add_event(f"[{point.t:>8.0f}] {point.kind:<12} {point.entity_id}")
+            self._add_event(f"[{point.t:>8.0f}] {point.kind:<12} {point.entity_id}")
 
     def ingest_alert(self, t: float, label: str) -> None:
-        self.state.add_event(f"[{t:>8.0f}] ALERT        {label}")
-        self.state.bump("alerts")
+        self._add_event(f"[{t:>8.0f}] ALERT        {label}")
+        self._bump("alerts")
+
+    def _add_event(self, label: str) -> None:
+        self.state.recent_events.append(label)
+        if len(self.state.recent_events) > self.state.max_recent:
+            del self.state.recent_events[: len(self.state.recent_events) - self.state.max_recent]
+        self._bump("events")
 
     # -- rendering ---------------------------------------------------------------
 
@@ -88,12 +115,45 @@ class Dashboard:
             lines.append("".join(chars))
         return lines
 
+    def _counter_items(self) -> list[tuple[str, int]]:
+        """The information-layer counters, wherever they live."""
+        if self.registry is not None:
+            prefix = "dashboard."
+            return [(n[len(prefix):], v) for n, v in self.registry.counters(prefix).items()]
+        return sorted(self.state.counters.items())
+
+    def render_metrics(self) -> list[str]:
+        """The observability panel: per-operator rates and consumer lag.
+
+        Empty without an attached registry — the panel renders live
+        registry contents, not dashboard-local state.
+        """
+        if self.registry is None:
+            return []
+        lines: list[str] = []
+        rates = operator_rates(self.registry)
+        if rates:
+            lines.append("operators (records/s | p50/p95 ms):")
+            width = max(len(n) for n in rates)
+            for name, row in rates.items():
+                lines.append(
+                    f"  {name:<{width}}  {row['records_s']:>12,.0f} rec/s"
+                    f"  in={row['records_in']:,.0f} out={row['records_out']:,.0f}"
+                    f"  p50={row['p50_ms']:.3f} p95={row['p95_ms']:.3f}"
+                )
+        lags = consumer_lags(self.registry)
+        if lags:
+            lines.append("consumer lag:")
+            width = max(len(n) for n in lags)
+            lines.extend(f"  {name:<{width}}  {lag:>10,}" for name, lag in lags.items())
+        return lines
+
     def render_frame(self, t: float | None = None) -> str:
         """One full dashboard frame as text."""
         header = f"== {self.title} =="
         if t is not None:
             header += f"  t={t:.0f}s"
-        counter_line = "  ".join(f"{k}={v}" for k, v in sorted(self.state.counters.items())) or "(no data)"
+        counter_line = "  ".join(f"{k}={v}" for k, v in self._counter_items()) or "(no data)"
         body = self.render_map()
         events = self.state.recent_events or ["(no events)"]
         parts = [header, counter_line, "+" + "-" * self.grid.cols + "+"]
@@ -101,6 +161,10 @@ class Dashboard:
         parts.append("+" + "-" * self.grid.cols + "+")
         parts.append("recent events:")
         parts.extend("  " + e for e in events)
+        metrics = self.render_metrics()
+        if metrics:
+            parts.append("")
+            parts.extend(metrics)
         return "\n".join(parts)
 
     def entity_count(self) -> int:

@@ -15,7 +15,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from ..geo import BBox, PositionFix, Trajectory, group_fixes_by_entity, mean_sampling_period
+from ..geo import BBox, PositionFix, group_fixes_by_entity, mean_sampling_period
 from ..insitu.quality import QualityConfig, QualityReport, clean_stream
 
 

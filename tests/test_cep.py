@@ -1,6 +1,5 @@
 """Tests for CEP: patterns, DFA, PMC, waiting times, forecasting."""
 
-import math
 
 import numpy as np
 import pytest

@@ -5,7 +5,6 @@ import pytest
 from repro.core import DatacronSystem, SystemConfig, TOPIC_LINKS, TOPIC_SYNOPSES
 from repro.datasources import AISConfig, AISSimulator, fishing_vessel_stream
 from repro.cep import symbol_sequence, turn_event_stream
-from repro.geo import BBox
 from repro.synopses import SynopsesGenerator
 
 

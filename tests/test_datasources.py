@@ -1,30 +1,9 @@
 """Tests for the synthetic data sources."""
 
-import math
 
 import pytest
 
-from repro.datasources import (
-    AIRPORTS,
-    AISConfig,
-    AISSimulator,
-    FlightDatasetConfig,
-    FlightPlan,
-    FlightSimulator,
-    WeatherField,
-    WeatherStationNetwork,
-    SeaStateSource,
-    fishing_vessel_stream,
-    generate_aircraft_registry,
-    generate_flight_dataset,
-    generate_ports,
-    generate_regions,
-    generate_vessel_registry,
-    make_route,
-    measure_ais,
-    measure_weather_obs,
-    regions_by_kind,
-)
+from repro.datasources import AIRPORTS, AISConfig, AISSimulator, FlightDatasetConfig, FlightPlan, WeatherField, WeatherStationNetwork, SeaStateSource, fishing_vessel_stream, generate_aircraft_registry, generate_flight_dataset, generate_ports, generate_regions, generate_vessel_registry, make_route, measure_ais, measure_weather_obs, regions_by_kind
 from repro.datasources.regions import DEFAULT_BBOX
 from repro.geo import group_fixes_by_entity
 

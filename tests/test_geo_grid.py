@@ -102,6 +102,34 @@ class TestEquiGrid:
         assert g.cell_box(col, row).contains(lon, lat)
 
 
+class TestDisjointQueries:
+    """Regression: out-of-area queries must not fabricate phantom border cells."""
+
+    def test_bbox_outside_grid_overlaps_nothing(self):
+        g = make_grid()
+        assert list(g.cells_overlapping_bbox(BBox(20.0, 20.0, 25.0, 22.0))) == []
+
+    def test_bbox_outside_one_axis_overlaps_nothing(self):
+        g = make_grid()
+        # Inside the lon range but entirely north of the grid.
+        assert list(g.cells_overlapping_bbox(BBox(2.0, 6.0, 4.0, 8.0))) == []
+
+    def test_polygon_outside_grid_rasterizes_empty(self):
+        g = make_grid()
+        poly = Polygon([(20.0, 20.0), (22.0, 20.0), (22.0, 22.0), (20.0, 22.0)])
+        assert g.rasterize_polygon(poly) == []
+
+    def test_touching_box_still_overlaps(self):
+        g = make_grid()
+        # Shares only the eastern border: touching is not disjoint.
+        cells = list(g.cells_overlapping_bbox(BBox(10.0, 0.0, 12.0, 1.0)))
+        assert cells and all(col == g.cols - 1 for col, _ in cells)
+
+    def test_st_range_outside_grid_is_empty(self):
+        st_grid = SpatioTemporalGrid(make_grid(), t_origin=0.0, t_step_s=60.0, t_slots=4)
+        assert st_grid.ids_for_range(BBox(30.0, 30.0, 31.0, 31.0), 0.0, 60.0) == set()
+
+
 class TestSpatioTemporalGrid:
     def make(self):
         return SpatioTemporalGrid(make_grid(), t_origin=0.0, t_step_s=3600.0, t_slots=24)

@@ -1,6 +1,5 @@
 """Unit tests for repro.geo.units."""
 
-import math
 
 import pytest
 from hypothesis import given

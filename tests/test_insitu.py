@@ -1,7 +1,6 @@
 """Tests for in-situ processing: stats, area events, quality."""
 
 import math
-import random
 
 import pytest
 from hypothesis import given

@@ -14,7 +14,7 @@ from repro.kgstore import (
     VerticalPartitioning,
     star,
 )
-from repro.rdf import A, IRI, Literal, Triple, VOC, var
+from repro.rdf import A, IRI, Literal, VOC, var
 from repro.synopses import SynopsesGenerator
 from repro.rdf.rdfizers import synopses_rdfizer
 
@@ -124,6 +124,11 @@ def build_store(layout="property_table"):
     return store, report, points
 
 
+def binding_key(binding):
+    """Order-insensitive comparison key for a query-result binding dict."""
+    return sorted((k, str(v)) for k, v in binding.items())
+
+
 class TestKGStore:
     def test_load_report(self):
         store, report, points = build_store()
@@ -160,8 +165,7 @@ class TestKGStore:
         q = star("node", (A, VOC.SemanticNode), (VOC.timestamp, var("t")), st=st)
         ref, _ = reference_store.execute(q)
         got, _ = store.execute(q)
-        key = lambda b: sorted((k, str(v)) for k, v in b.items())
-        assert sorted(map(key, got)) == sorted(map(key, ref))
+        assert sorted(map(binding_key, got)) == sorted(map(binding_key, ref))
 
     def test_pushdown_equals_postfilter(self):
         store, _, _ = build_store()
@@ -169,8 +173,7 @@ class TestKGStore:
         q = star("node", (A, VOC.SemanticNode), (VOC.timestamp, var("t")), st=st)
         with_push, m_push = store.execute(q, pushdown=True)
         without, m_post = store.execute(q, pushdown=False)
-        key = lambda b: sorted((k, str(v)) for k, v in b.items())
-        assert sorted(map(key, with_push)) == sorted(map(key, without))
+        assert sorted(map(binding_key, with_push)) == sorted(map(binding_key, without))
         # Pushdown refines fewer subjects than the post-filter plan.
         assert m_push.refined <= m_post.refined
 

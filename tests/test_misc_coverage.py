@@ -1,6 +1,5 @@
 """Edge-coverage tests for small helpers across packages."""
 
-import math
 
 import pytest
 

@@ -1,0 +1,325 @@
+"""Tests for the observability layer: metrics, instrumentation, tracing."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    OperatorProbe,
+    Tracer,
+    consumer_lags,
+    format_snapshot,
+    instrument_broker,
+    instrument_consumer,
+    instrument_operator,
+    instrument_pipeline,
+    operator_rates,
+)
+from repro.obs.metrics import Histogram
+from repro.streams import (
+    Broker,
+    Map,
+    Pipeline,
+    Record,
+    TumblingWindow,
+    Watermark,
+    count_aggregate,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.counter("x").inc(4)
+        assert reg.counter("x").value == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(3.5)
+        assert g.value() == 3.5
+
+    def test_callback_backed(self):
+        state = {"n": 0}
+        g = MetricsRegistry().gauge("live", fn=lambda: state["n"])
+        state["n"] = 7
+        assert g.value() == 7.0
+
+    def test_set_on_callback_gauge_rejected(self):
+        g = MetricsRegistry().gauge("live", fn=lambda: 1)
+        with pytest.raises(ValueError):
+            g.set(2.0)
+
+
+class TestHistogram:
+    def test_exact_while_unsaturated(self):
+        h = Histogram("h", reservoir_size=100, seed=0)
+        for v in range(10):
+            h.observe(float(v))
+        assert h.count == 10
+        assert h.sum == 45.0
+        assert h.min == 0.0 and h.max == 9.0
+        assert h.quantile(0.5) == 5.0
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(1.0) == 9.0
+
+    def test_bounded_memory_past_saturation(self):
+        h = Histogram("h", reservoir_size=8, seed=1)
+        for v in range(10_000):
+            h.observe(float(v))
+        assert h.count == 10_000
+        assert len(h._reservoir) == 8
+        assert h.max == 9999.0  # exact extrema survive sampling
+
+    def test_deterministic_under_seeding(self):
+        a = MetricsRegistry(seed=42).histogram("lat", reservoir_size=16)
+        b = MetricsRegistry(seed=42).histogram("lat", reservoir_size=16)
+        for v in range(5_000):
+            a.observe(float(v % 97))
+            b.observe(float(v % 97))
+        assert a.snapshot() == b.snapshot()
+
+    def test_different_seed_different_reservoir(self):
+        a = MetricsRegistry(seed=1).histogram("lat", reservoir_size=16)
+        b = MetricsRegistry(seed=2).histogram("lat", reservoir_size=16)
+        for v in range(5_000):
+            a.observe(float(v))
+            b.observe(float(v))
+        assert a._reservoir != b._reservoir
+
+    def test_quantiles_dict(self):
+        h = Histogram("h", seed=0)
+        for v in range(100):
+            h.observe(float(v))
+        q = h.quantiles()
+        assert q["p50"] == 50.0 and q["p95"] == 95.0 and q["p99"] == 99.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Histogram("h", reservoir_size=0)
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+
+class TestRegistry:
+    def test_time_context_manager(self):
+        reg = MetricsRegistry()
+        with reg.time("op.latency_s"):
+            pass
+        hist = reg.histogram("op.latency_s")
+        assert hist.count == 1
+        assert hist.sum >= 0.0
+
+    def test_snapshot_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.25)
+        reg.histogram("h").observe(0.5)
+        snap = reg.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["counters"]["c"] == 3
+        assert snap["gauges"]["g"] == 1.25
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_prefix_filters(self):
+        reg = MetricsRegistry()
+        reg.counter("op.a.records_in").inc()
+        reg.counter("other").inc()
+        assert list(reg.counters("op.")) == ["op.a.records_in"]
+
+    def test_format_snapshot_renders(self):
+        reg = MetricsRegistry()
+        reg.counter("stage.raw.records").inc(10)
+        reg.gauge("lag").set(2.0)
+        reg.histogram("h").observe(0.25)
+        text = format_snapshot(reg.snapshot(), title="t")
+        assert "== t ==" in text
+        assert "stage.raw.records" in text
+        assert "p95" in text
+
+
+class TestOperatorInstrumentation:
+    def test_probe_counts_and_latency(self):
+        reg = MetricsRegistry()
+        op = instrument_operator(Map(lambda v: v * 2), reg, name="double")
+        out = op.process(Record(0.0, 21))
+        assert out[0].value == 42
+        assert reg.counter("op.double.records_in").value == 1
+        assert reg.counter("op.double.records_out").value == 1
+        assert reg.histogram("op.double.latency_s").count == 1
+
+    def test_queue_depth_gauge_tracks_window_buffer(self):
+        reg = MetricsRegistry()
+        w = instrument_operator(TumblingWindow(10.0, count_aggregate), reg, name="win")
+        w.process(Record(1.0, "a", "k"))
+        w.process(Record(2.0, "b", "k"))
+        assert reg.gauge("op.win.queue_depth").value() == 2.0
+        w.process(Watermark(10.0))
+        assert reg.gauge("op.win.queue_depth").value() == 0.0
+
+    def test_instrument_pipeline_disambiguates_duplicates(self):
+        reg = MetricsRegistry()
+        pipe = Pipeline([Map(lambda v: v + 1), Map(lambda v: v * 2)], name="p")
+        instrument_pipeline(pipe, reg)
+        pipe.run([Record(0.0, 1), Record(1.0, 2)])
+        assert reg.counter("op.p.map.records_in").value == 2
+        assert reg.counter("op.p.map.1.records_in").value == 2
+        assert reg.gauge("pipeline.p.records_processed").value() == 2.0
+        assert reg.gauge("pipeline.p.records_s").value() > 0.0
+
+    def test_operator_rates_view(self):
+        reg = MetricsRegistry()
+        probe = OperatorProbe(reg, "stage")
+        probe.observe(2, 0.5)
+        probe.observe(1, 0.5)
+        rates = operator_rates(reg)
+        assert rates["stage"]["records_in"] == 2
+        assert rates["stage"]["records_out"] == 3
+        assert rates["stage"]["records_s"] == pytest.approx(2.0)
+        assert rates["stage"]["p95_ms"] == pytest.approx(500.0)
+
+    def test_uninstrumented_operator_unchanged(self):
+        op = Map(lambda v: v)
+        assert op.probe is None
+        assert op.process(Record(0.0, 1))[0].value == 1
+        assert op.pending() == 0
+
+
+class TestBrokerInstrumentation:
+    def test_topic_gauges_live(self):
+        reg = MetricsRegistry()
+        broker = Broker()
+        broker.create_topic("raw", partitions=2, retention=3)
+        instrument_broker(broker, reg)
+        for i in range(5):
+            broker.publish("raw", Record(float(i), i))
+        assert reg.gauge("broker.topic.raw.published").value() == 5.0
+        assert reg.gauge("broker.topic.raw.size").value() <= 5.0
+        assert reg.gauge("broker.topic.raw.dropped").value() >= 0.0
+
+    def test_consumer_lag_gauge(self):
+        reg = MetricsRegistry()
+        broker = Broker()
+        broker.create_topic("raw")
+        consumer = instrument_consumer(broker.consumer("raw", "g1"), reg)
+        broker.publish("raw", Record(0.0, "a"))
+        broker.publish("raw", Record(1.0, "b"))
+        assert consumer_lags(reg) == {"raw.g1": 2}
+        consumer.poll()
+        assert consumer_lags(reg) == {"raw.g1": 0}
+
+
+class TestTracer:
+    def make(self):
+        clock = {"t": 0.0}
+
+        def tick():
+            clock["t"] += 1.0
+            return clock["t"]
+
+        return Tracer(clock=tick)
+
+    def test_span_tree_and_durations(self):
+        tracer = self.make()
+        root = tracer.start_trace("record", entity_id="v1")
+        child = tracer.start_span("synopses", root)
+        tracer.finish(child)
+        tracer.finish(root)
+        assert child.parent_id == root.span_id
+        assert child.trace_id == root.trace_id
+        assert child.duration_s == 1.0  # one tick between open and close
+        assert root.duration_s == 3.0
+
+    def test_context_manager_closes(self):
+        tracer = self.make()
+        with tracer.span("record") as root:
+            with tracer.span("clean", parent=root) as child:
+                pass
+        assert root.finished and child.finished
+
+    def test_traces_are_grouped(self):
+        tracer = self.make()
+        a = tracer.start_trace("record")
+        b = tracer.start_trace("record")
+        tracer.start_span("stage", a)
+        assert tracer.traces() == [a.trace_id, b.trace_id]
+        assert len(tracer.trace(a.trace_id)) == 2
+        assert len(tracer.trace(b.trace_id)) == 1
+
+    def test_lineage_rendering(self):
+        tracer = self.make()
+        with tracer.span("record", entity_id="v9") as root:
+            with tracer.span("clean", parent=root):
+                pass
+            with tracer.span("link_discovery", parent=root):
+                pass
+        text = tracer.lineage(root.trace_id)
+        lines = text.splitlines()
+        assert lines[0].startswith("record ")
+        assert "entity_id=v9" in lines[0]
+        assert lines[1].startswith("  clean ")
+        assert lines[2].startswith("  link_discovery ")
+
+    def test_stage_durations(self):
+        tracer = self.make()
+        with tracer.span("record") as root:
+            with tracer.span("clean", parent=root):
+                pass
+        durations = tracer.stage_durations()
+        assert set(durations) == {"record", "clean"}
+
+    def test_max_spans_bounds_memory(self):
+        tracer = Tracer(clock=lambda: 0.0, max_spans=3)
+        root = tracer.start_trace("record")
+        for _ in range(5):
+            tracer.finish(tracer.start_span("s", root))
+        assert len(tracer.spans()) == 3
+        assert tracer.dropped_spans == 3
+
+
+class TestRealtimeIntegration:
+    def test_system_metrics_view(self):
+        from repro.core import DatacronSystem, SystemConfig
+        from repro.datasources import AISConfig, AISSimulator
+
+        config = SystemConfig(n_regions=10, n_ports=5, seed=3, trace_sample_every=10)
+        system = DatacronSystem(config, t_origin=0.0, t_extent_s=3600.0)
+        sim = AISSimulator(n_vessels=3, seed=4, config=AISConfig(report_period_s=60.0))
+        run = system.run(sim.fixes(0.0, 1800.0))
+
+        metrics = system.system_metrics()
+        assert metrics["counters"]["stage.raw.records"] == run.realtime.raw_fixes
+        assert metrics["counters"]["op.clean.records_in"] == run.realtime.clean_fixes
+        assert metrics["histograms"]["realtime.fix_latency_s"]["count"] == run.realtime.clean_fixes
+        assert metrics["operators"]["clean"]["records_s"] > 0.0
+        # The batch layer drained the synopses topic: its lag gauge reads zero.
+        assert metrics["consumer_lag"]["trajectories.synopses.batch"] == 0
+        # Sampled lineage traces exist and follow the Figure-2 stages.
+        traces = system.realtime.tracer.traces()
+        assert traces
+        names = {sp.name for sp in system.realtime.tracer.trace(traces[0])}
+        assert "record" in names and "synopses" in names
+
+    def test_dashboard_renders_registry(self):
+        from repro.core import DatacronSystem, SystemConfig
+        from repro.datasources import AISConfig, AISSimulator
+
+        config = SystemConfig(n_regions=10, n_ports=5, seed=3)
+        system = DatacronSystem(config, t_origin=0.0, t_extent_s=3600.0)
+        sim = AISSimulator(n_vessels=3, seed=4, config=AISConfig(report_period_s=60.0))
+        system.run(sim.fixes(0.0, 900.0))
+        frame = system.dashboard_frame(t=900.0)
+        assert "positions=" in frame
+        assert "operators (records/s" in frame
+        assert "consumer lag:" in frame

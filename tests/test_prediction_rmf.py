@@ -1,6 +1,5 @@
 """Tests for the FLP predictors (RMF, RMF*) and the horizon-sweep harness."""
 
-import math
 
 import pytest
 

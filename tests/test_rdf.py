@@ -7,30 +7,7 @@ from hypothesis import strategies as st
 from repro.datasources import generate_ports, generate_regions
 from repro.datasources.weather import WeatherField, WeatherStationNetwork
 from repro.geo import PositionFix
-from repro.rdf import (
-    A,
-    CSVConnector,
-    Graph,
-    GraphTemplate,
-    IRI,
-    IterableConnector,
-    JSONLinesConnector,
-    Literal,
-    TemplateError,
-    Triple,
-    TriplePattern,
-    VOC,
-    Variable,
-    entity_iri,
-    numeric,
-    port_rdfizer,
-    region_rdfizer,
-    require,
-    semantic_node_template,
-    synopses_rdfizer,
-    var,
-    weather_rdfizer,
-)
+from repro.rdf import A, CSVConnector, Graph, GraphTemplate, IRI, IterableConnector, JSONLinesConnector, Literal, TemplateError, Triple, TriplePattern, VOC, Variable, entity_iri, numeric, port_rdfizer, region_rdfizer, require, synopses_rdfizer, var, weather_rdfizer
 from repro.rdf.terms import XSD_DOUBLE, XSD_INTEGER, XSD_BOOLEAN
 from repro.synopses import CriticalPoint
 

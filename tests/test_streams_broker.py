@@ -1,9 +1,16 @@
 """Tests for the in-process broker (Kafka surrogate)."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
-from repro.streams.broker import Broker, Topic
+from repro.streams.broker import Broker, Consumer, Topic, _stable_hash
 from repro.streams.record import Record
+
+
+def key_for_partition(partitions: int, partition: int) -> str:
+    """A key that hashes onto the requested partition."""
+    return next(k for k in (f"key-{i}" for i in range(10_000)) if _stable_hash(k) % partitions == partition)
 
 
 class TestTopic:
@@ -91,6 +98,78 @@ class TestConsumer:
         assert [r.value for r in c.poll()] == ["a"]
 
 
+class TestPollFairness:
+    """Regression: a capped poll must not let busy partitions starve the rest."""
+
+    def _skewed_topic(self):
+        topic = Topic("raw", partitions=3)
+        keys = {p: key_for_partition(3, p) for p in range(3)}
+        # A few records wait on partitions 1 and 2...
+        for p in (1, 2):
+            for i in range(5):
+                topic.publish(Record(float(i), f"p{p}-{i}", key=keys[p]))
+        return topic, keys
+
+    def test_rotation_drains_all_partitions_under_sustained_load(self):
+        topic, keys = self._skewed_topic()
+        consumer = Consumer(topic, "g")
+        # ...while partition 0 receives 10 fresh records per poll round:
+        # exactly the poll budget, so a scan that always starts at
+        # partition 0 never gets past it.
+        for round_no in range(20):
+            for i in range(10):
+                topic.publish(Record(float(round_no * 10 + i), "x", key=keys[0]))
+            consumer.poll(max_messages=10)
+        lags = consumer.partition_lags()
+        assert lags[1] == 0 and lags[2] == 0, f"partitions 1-2 starved: {lags}"
+
+    def test_scan_from_zero_starves_other_partitions(self):
+        """The old algorithm (always scan from partition 0) starves 1-2 forever."""
+        topic, keys = self._skewed_topic()
+        offsets = [0, 0, 0]
+
+        def poll_scan_from_zero(max_messages):
+            budget = max_messages
+            for part in range(topic.partitions):
+                msgs = topic.read(part, offsets[part], budget)
+                if msgs:
+                    offsets[part] = msgs[-1].offset + 1
+                    budget -= len(msgs)
+                    if budget <= 0:
+                        break
+
+        for round_no in range(20):
+            for i in range(10):
+                topic.publish(Record(float(round_no * 10 + i), "x", key=keys[0]))
+            poll_scan_from_zero(10)
+        ends = topic.end_offsets()
+        lags = [end - off for end, off in zip(ends, offsets)]
+        assert lags[1] == 5 and lags[2] == 5  # never touched: the starvation bug
+
+    @given(
+        partitions=st.integers(1, 4),
+        keys=st.lists(
+            st.one_of(st.none(), st.text(alphabet="abcdef", min_size=1, max_size=3)),
+            max_size=60,
+        ),
+        max_messages=st.one_of(st.none(), st.integers(1, 7)),
+    )
+    def test_poll_delivers_exactly_once(self, partitions, keys, max_messages):
+        """Any poll cap eventually delivers every record exactly once, across all partitions."""
+        topic = Topic("raw", partitions=partitions)
+        for i, key in enumerate(keys):
+            topic.publish(Record(float(i % 5), i, key=key))
+        consumer = Consumer(topic, "g")
+        seen: list[int] = []
+        while True:
+            batch = consumer.poll(max_messages)
+            if not batch:
+                break
+            seen.extend(r.value for r in batch)
+        assert sorted(seen) == list(range(len(keys)))
+        assert consumer.lag() == 0
+
+
 class TestBroker:
     def test_duplicate_topic_rejected(self):
         b = Broker()
@@ -107,6 +186,33 @@ class TestBroker:
         t1 = b.get_or_create("x")
         t2 = b.get_or_create("x")
         assert t1 is t2
+
+    def test_get_or_create_accepts_retention(self):
+        b = Broker()
+        t = b.get_or_create("x", partitions=2, retention=5)
+        assert t.partitions == 2 and t.retention == 5
+
+    def test_get_or_create_partition_mismatch_raises(self):
+        b = Broker()
+        b.create_topic("x", partitions=2)
+        with pytest.raises(ValueError, match="partitions"):
+            b.get_or_create("x", partitions=3)
+
+    def test_get_or_create_retention_mismatch_raises(self):
+        b = Broker()
+        b.create_topic("x", retention=10)
+        with pytest.raises(ValueError, match="retention"):
+            b.get_or_create("x", retention=5)
+
+    def test_get_or_create_matching_settings_ok(self):
+        b = Broker()
+        t = b.create_topic("x", partitions=4, retention=9)
+        assert b.get_or_create("x", partitions=4, retention=9) is t
+
+    def test_get_or_create_unspecified_accepts_existing(self):
+        b = Broker()
+        t = b.create_topic("x", partitions=4, retention=9)
+        assert b.get_or_create("x") is t
 
     def test_publish_convenience(self):
         b = Broker()

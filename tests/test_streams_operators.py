@@ -136,6 +136,61 @@ class TestSlidingWindow:
         w.process(Record(5.0, "a", "k"))
         assert len(w.flush()) == 2
 
+    def test_allowed_lateness_accepts_late_records(self):
+        w = SlidingWindow(20.0, 10.0, count_aggregate, allowed_lateness_s=30.0)
+        w.process(Watermark(25.0))
+        w.process(Record(15.0, "late-but-allowed", "k"))
+        assert w.late_records == 0
+        out = [r for r in w.process(Watermark(100.0)) if isinstance(r, Record)]
+        # Still lands in both of its windows, [0,20) and [10,30).
+        assert len(out) == 2
+
+
+class TestWindowLatenessParity:
+    """SlidingWindow and TumblingWindow must drop identical records on the
+    same stream — ``allowed_lateness_s`` has one meaning, not two."""
+
+    def both(self, lateness):
+        # slide == size makes the sliding windows coincide with the tumbling
+        # ones, so any behavioural difference is a lateness-semantics bug.
+        return (
+            TumblingWindow(10.0, count_aggregate, allowed_lateness_s=lateness),
+            SlidingWindow(10.0, 10.0, count_aggregate, allowed_lateness_s=lateness),
+        )
+
+    def run_stream(self, window):
+        elements = [
+            Record(2.0, "a", "k"),
+            Watermark(12.0),          # [0,10) closed only if lateness == 0
+            Record(8.0, "b", "k"),    # late without lateness allowance
+            Watermark(15.0),          # closes [0,10) when lateness == 5
+            Record(3.0, "c", "k"),    # late under both settings
+        ]
+        results = []
+        for el in elements:
+            results.extend(r for r in window.process(el) if isinstance(r, Record))
+        return results
+
+    @pytest.mark.parametrize("lateness", [0.0, 5.0])
+    def test_identical_drops_and_results(self, lateness):
+        tumbling, sliding = self.both(lateness)
+        out_t = self.run_stream(tumbling)
+        out_s = self.run_stream(sliding)
+        assert tumbling.late_records == sliding.late_records
+        assert [(r.t, r.value.start, r.value.end, r.value.value) for r in out_t] == [
+            (r.t, r.value.start, r.value.end, r.value.value) for r in out_s
+        ]
+
+    def test_lateness_changes_window_contents_identically(self):
+        strict_t, strict_s = self.both(0.0)
+        lenient_t, lenient_s = self.both(5.0)
+        strict = [self.run_stream(w)[0].value.value for w in (strict_t, strict_s)]
+        lenient = [self.run_stream(w)[0].value.value for w in (lenient_t, lenient_s)]
+        assert strict == [1, 1]    # t=8 dropped by both
+        assert lenient == [2, 2]   # t=8 admitted by both
+        assert strict_t.late_records == strict_s.late_records == 2
+        assert lenient_t.late_records == lenient_s.late_records == 1
+
 
 class TestPipeline:
     def test_chain(self):

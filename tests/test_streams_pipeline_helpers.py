@@ -1,6 +1,5 @@
 """Tests for broker-to-pipeline glue: drain_consumer, publish_all."""
 
-import pytest
 
 from repro.streams import (
     Broker,

@@ -1,6 +1,5 @@
 """Tests for the Synopses Generator (critical-point detection, reconstruction)."""
 
-import math
 
 import pytest
 

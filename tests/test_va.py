@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.geo import BBox, PositionFix, Trajectory, destination_point
+from repro.geo import BBox, PositionFix, Trajectory
 from repro.synopses import CriticalPoint
 from repro.va import (
     Dashboard,
