@@ -14,6 +14,7 @@ import pytest
 from repro.datasources import AISConfig, AISSimulator, DEFAULT_BBOX
 from repro.geo import BBox
 from repro.kgstore import KGStore, STConstraint, star
+from repro.obs import MetricsRegistry
 from repro.rdf import A, VOC, var
 from repro.rdf.rdfizers import synopses_rdfizer, raw_fix_rdfizer
 from repro.synopses import SynopsesGenerator
@@ -36,7 +37,8 @@ def store():
     triples = list(synopses_rdfizer(points).triples())
     triples += list(raw_fix_rdfizer(fixes).triples())
     kg = KGStore(DEFAULT_BBOX, t_origin=0.0, t_extent_s=6 * 3600.0,
-                 layout="property_table", grid_cols=72, grid_rows=32, t_slots=48)
+                 layout="property_table", grid_cols=72, grid_rows=32, t_slots=48,
+                 registry=MetricsRegistry())
     report = kg.load(triples)
     return kg, report, triples
 
@@ -51,7 +53,7 @@ def node_query(st=WINDOW):
     )
 
 
-def test_pushdown_speedup(store, console, benchmark):
+def test_pushdown_speedup(store, console, benchmark, emit_metrics):
     kg, report, _ = store
     comparison = kg.compare_plans(node_query(), repeat=3)
     baseline, metrics_base = kg.execute(node_query(), pushdown=False)
@@ -72,6 +74,7 @@ def test_pushdown_speedup(store, console, benchmark):
     assert len(baseline) == len(pushed)
     assert comparison["speedup"] > 2.0
     benchmark(lambda: kg.execute(node_query(), pushdown=True)[1].results)
+    emit_metrics(kg.registry, benchmark, title="kgstore query metrics (repro.obs)")
 
 
 def test_baseline_plan_timing(store, benchmark):

@@ -7,13 +7,26 @@ a ``repro.obs.MetricsRegistry`` also emit its snapshot — throughput
 counters and latency-histogram quantiles — both as printed output and
 into the pytest-benchmark JSON (``extra_info["metrics"]``), so bench
 runs archive the same numbers the paper reports.
+
+A bench session additionally persists every emitted snapshot:
+
+* ``BENCH_obs.json`` (repo root) — one registry snapshot per bench
+  nodeid, the input ``tools/perf_gate.py`` compares against its budget;
+* ``BENCH_obs.openmetrics/<bench>.om`` — the same snapshots in
+  OpenMetrics text exposition, scrape-equivalent artifacts for CI.
 """
 
 from __future__ import annotations
 
+import json
+import re
 from contextlib import contextmanager
+from pathlib import Path
 
 import pytest
+
+#: nodeid -> registry snapshot, accumulated across the session.
+_SNAPSHOTS: dict[str, dict] = {}
 
 
 @pytest.fixture
@@ -33,7 +46,7 @@ def console(pytestconfig):
 
 
 @pytest.fixture
-def emit_metrics(console):
+def emit_metrics(console, request):
     """Emit a MetricsRegistry snapshot: print it and attach it to bench JSON.
 
     Usage::
@@ -49,9 +62,32 @@ def emit_metrics(console):
         snapshot = registry.snapshot()
         if benchmark is not None:
             benchmark.extra_info["metrics"] = snapshot
+        _SNAPSHOTS[request.node.nodeid] = snapshot
         with console():
             print()
             print(format_snapshot(snapshot, title=title))
         return snapshot
 
     return _emit
+
+
+def _slug(nodeid: str) -> str:
+    """A filesystem-safe name for one bench nodeid."""
+    return re.sub(r"[^A-Za-z0-9_.-]+", "_", nodeid.replace(".py::", "__"))
+
+
+def pytest_sessionfinish(session):
+    """Persist the session's emitted snapshots for the CI perf gate."""
+    if not _SNAPSHOTS:
+        return
+    root = Path(session.config.rootpath)
+    payload = {"benches": dict(sorted(_SNAPSHOTS.items()))}
+    (root / "BENCH_obs.json").write_text(json.dumps(payload, indent=2, sort_keys=True))
+    try:
+        from repro.obs import write_openmetrics
+    except ImportError:
+        return
+    om_dir = root / "BENCH_obs.openmetrics"
+    om_dir.mkdir(exist_ok=True)
+    for nodeid, snapshot in _SNAPSHOTS.items():
+        write_openmetrics(snapshot, om_dir / f"{_slug(nodeid)}.om")

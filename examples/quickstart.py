@@ -3,10 +3,13 @@
 Simulates a small vessel fleet, pushes it through the full real-time
 layer (cleaning -> in-situ -> synopses -> link discovery -> CEP) and
 the batch layer (RDF lifting -> spatio-temporal knowledge-graph store),
-then asks the store a star query and prints the live dashboard.
+then asks the store a star query, prints the live dashboard and the
+observability view (metrics snapshot, health states, recent events).
 
 Run:  python examples/quickstart.py
 """
+
+from repro.obs import format_snapshot
 
 from repro.cep import symbol_sequence, turn_event_stream
 from repro.core import DatacronSystem, SystemConfig
@@ -48,6 +51,19 @@ def main() -> None:
     # 6. The Figure-13 dashboard.
     print()
     print(system.dashboard_frame(t=7200.0))
+
+    # 7. The observability view: every number above again, but from the
+    # metrics registry — plus pipeline health and the structured event log.
+    metrics = system.system_metrics()
+    print()
+    print(format_snapshot(metrics, title="system metrics (repro.obs)"))
+    health = metrics["health"]
+    states = ", ".join(f"{c}={s['state']}" for c, s in health["components"].items())
+    print(f"pipeline health     : {health['system']} ({states})")
+    events = metrics["events"]
+    print(f"structured events   : {events['emitted']} emitted; last:")
+    for event in events["recent"][-3:]:
+        print(f"  [{event['severity']:<5}] {event['component']}/{event['kind']} {event.get('message', '')}")
 
 
 if __name__ == "__main__":

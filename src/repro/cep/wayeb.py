@@ -11,6 +11,7 @@ detected within its interval.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -57,6 +58,7 @@ class WayebEngine:
         order: int = 1,
         threshold: float = 0.5,
         horizon: int = 50,
+        registry=None,
     ):
         if horizon < 1:
             raise ValueError("horizon must be >= 1")
@@ -68,6 +70,10 @@ class WayebEngine:
         self.dfa: DFA = compile_pattern(pattern, self.alphabet)
         self.pmc: PatternMarkovChain | None = None
         self._forecast_by_state: list[ForecastInterval | None] = []
+        #: Optional ``repro.obs.MetricsRegistry``: runs then report under the
+        #: ``cep.*`` namespace (automaton transitions, per-event match
+        #: latency, detection/forecast counters).
+        self.registry = registry
 
     def train(self, training_symbols: Sequence[str]) -> None:
         """Estimate the input process and precompute the forecast table."""
@@ -90,7 +96,13 @@ class WayebEngine:
         run = WayebRun()
         state = self.dfa.start
         context: tuple[str, ...] = ()
+        registry = self.registry
+        if registry is not None:
+            transitions = registry.counter("cep.automaton.transitions")
+            match_latency = registry.histogram("cep.match_latency_s")
+            clock = time.perf_counter
         for position, event in enumerate(events):
+            t0 = clock() if registry is not None else 0.0
             state = self.dfa.step(state, event.symbol)
             if self.order > 0:
                 context = (context + (event.symbol,))[-self.order :]
@@ -103,6 +115,13 @@ class WayebEngine:
                     interval = self._forecast_by_state[pmc_state]
                     if interval is not None:
                         run.forecasts.append(Forecast(position, event.t, interval))
+            if registry is not None:
+                transitions.inc()
+                match_latency.observe(clock() - t0)
+        if registry is not None:
+            registry.counter("cep.events").inc(run.events_processed)
+            registry.counter("cep.detections").inc(len(run.detections))
+            registry.counter("cep.forecasts").inc(len(run.forecasts))
         return run
 
 

@@ -9,6 +9,7 @@ star-query analytics plus the offline data-quality assessment.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from ..analytics import MobilityPatternReport, mine_mobility_patterns
@@ -50,6 +51,7 @@ class BatchLayer:
         # the committed offsets, and their lag is observable as gauges.
         self._synopses_consumer = broker.consumer(TOPIC_SYNOPSES, group="batch")
         self._quality_consumer = broker.consumer(TOPIC_CLEAN, group="quality")
+        self.registry = registry
         if registry is not None:
             instrument_consumer(self._synopses_consumer, registry)
             instrument_consumer(self._quality_consumer, registry)
@@ -61,28 +63,38 @@ class BatchLayer:
             grid_cols=32,
             grid_rows=32,
             t_slots=32,
+            registry=registry,
         )
         self.graph = Graph()
         self.report = BatchReport()
         self._points: list[CriticalPoint] = []
 
+    def _time(self, name: str):
+        """``registry.time(name)`` when instrumented, else a no-op block."""
+        return self.registry.time(name) if self.registry is not None else nullcontext()
+
     def ingest_from_broker(self) -> BatchReport:
         """Drain the synopses topic (batch consumer group) into the KG store."""
         consumer = self._synopses_consumer
         points: list[CriticalPoint] = []
-        while True:
-            records = consumer.poll(max_messages=10_000)
-            if not records:
-                break
-            points.extend(r.value for r in records)
-        self.report.synopsis_points += len(points)
-        self._points.extend(points)
-        if points:
-            triples = list(synopses_rdfizer(points).triples())
-            self.graph.add_all(triples)
-            load: LoadReport = self.store.load(list(self.graph))
-            self.report.triples = load.triples
-            self.report.anchored_subjects = load.anchored_subjects
+        with self._time("batch.ingest_latency_s"):
+            while True:
+                records = consumer.poll(max_messages=10_000)
+                if not records:
+                    break
+                points.extend(r.value for r in records)
+            self.report.synopsis_points += len(points)
+            self._points.extend(points)
+            if points:
+                with self._time("batch.rdfize_latency_s"):
+                    triples = list(synopses_rdfizer(points).triples())
+                    self.graph.add_all(triples)
+                load: LoadReport = self.store.load(list(self.graph))
+                self.report.triples = load.triples
+                self.report.anchored_subjects = load.anchored_subjects
+        if self.registry is not None:
+            self.registry.counter("batch.synopsis_points").inc(len(points))
+            self.registry.counter("batch.ingests").inc()
         return self.report
 
     def nodes_in_range(self, bbox: BBox, t_min: float, t_max: float) -> list[dict]:

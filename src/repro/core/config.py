@@ -33,3 +33,5 @@ class SystemConfig:
     seed: int = 7
     #: Trace every Nth clean fix end to end (0 disables lineage tracing).
     trace_sample_every: int = 256
+    #: Ring size of the structured event log (oldest events overwritten).
+    event_log_capacity: int = 1024

@@ -36,7 +36,18 @@ from ..linkdiscovery import (
     PortLinkDiscoverer,
     RegionLinkDiscoverer,
 )
-from ..obs import MetricsRegistry, OperatorProbe, Tracer, consumer_lags, instrument_broker, operator_rates
+from ..obs import (
+    EventLog,
+    HealthMonitor,
+    MetricsRegistry,
+    OperatorProbe,
+    Tracer,
+    consumer_lags,
+    default_realtime_rules,
+    instrument_broker,
+    operator_rates,
+    watch_broker,
+)
 from ..streams import Broker, Record
 from ..synopses import CriticalPoint, SynopsesGenerator
 from ..va import Dashboard
@@ -80,10 +91,25 @@ class RealtimeLayer:
         cfg = self.config
         self.metrics = MetricsRegistry(seed=cfg.seed)
         self.tracer = Tracer()
+        self.events = EventLog(capacity=cfg.event_log_capacity)
         self.broker = Broker()
         for topic in (TOPIC_RAW, TOPIC_CLEAN, TOPIC_SYNOPSES, TOPIC_LINKS, TOPIC_EVENTS):
             self.broker.create_topic(topic, partitions=2)
         instrument_broker(self.broker, self.metrics)
+        watch_broker(self.broker, self.events)
+        # Online-cleaning rejection rate: the error-rate signal the health
+        # monitor's default rules watch.
+        self.metrics.gauge(
+            "realtime.error_rate",
+            fn=lambda: (
+                self.report.quality.dropped / self.report.raw_fixes
+                if self.report.raw_fixes
+                else 0.0
+            ),
+        )
+        self.health = default_realtime_rules(
+            HealthMonitor(self.metrics, event_log=self.events)
+        )
         # Per-stage probes: the Figure-2 hops report under the same
         # ``op.<name>.*`` namespace as instrumented stream operators.
         self._probes = {
@@ -92,23 +118,27 @@ class RealtimeLayer:
         }
         self.regions = generate_regions(cfg.n_regions, bbox=cfg.bbox, seed=cfg.seed)
         self.ports = generate_ports(cfg.n_ports, bbox=cfg.bbox, seed=cfg.seed + 1)
-        self.synopses = SynopsesGenerator(cfg.synopses)
+        self.synopses = SynopsesGenerator(cfg.synopses, registry=self.metrics)
         self.area_detector = AreaEventDetector(RegionIndex(self.regions, cell_deg=cfg.grid_cell_deg))
         self.region_links = RegionLinkDiscoverer(
-            self.regions, cfg.bbox, cell_deg=cfg.grid_cell_deg, use_masks=True
+            self.regions, cfg.bbox, cell_deg=cfg.grid_cell_deg, use_masks=True,
+            registry=self.metrics,
         )
         self.port_links = PortLinkDiscoverer(
-            self.ports, cfg.bbox, threshold_m=cfg.near_port_threshold_m, cell_deg=cfg.grid_cell_deg
+            self.ports, cfg.bbox, threshold_m=cfg.near_port_threshold_m, cell_deg=cfg.grid_cell_deg,
+            registry=self.metrics,
         )
         self.proximity = MovingProximityDiscoverer(
-            cfg.bbox, cfg.proximity_space_m, cfg.proximity_time_s, cell_deg=cfg.grid_cell_deg
+            cfg.bbox, cfg.proximity_space_m, cfg.proximity_time_s, cell_deg=cfg.grid_cell_deg,
+            registry=self.metrics,
         )
-        self.dashboard = Dashboard(cfg.bbox, registry=self.metrics)
+        self.dashboard = Dashboard(cfg.bbox, registry=self.metrics, health=self.health)
         self.weather = WeatherField(bbox=cfg.bbox, seed=cfg.seed + 2)
         self.cep: WayebEngine | None = None
         if cep_training_symbols:
             self.cep = WayebEngine(
-                north_to_south_reversal(), TURN_ALPHABET, order=1, threshold=0.5, horizon=60
+                north_to_south_reversal(), TURN_ALPHABET, order=1, threshold=0.5, horizon=60,
+                registry=self.metrics,
             )
             self.cep.train(cep_training_symbols)
         self._cep_state = None
@@ -128,6 +158,7 @@ class RealtimeLayer:
         syn_topic = self.broker.topic(TOPIC_SYNOPSES)
         link_topic = self.broker.topic(TOPIC_LINKS)
         raw_counter = self.metrics.counter("stage.raw.records")
+        self.events.emit("info", "realtime", "run_started")
 
         def raw_stream():
             for fix in fixes:
@@ -195,16 +226,30 @@ class RealtimeLayer:
             for det in run.detections:
                 events_topic.publish(Record(det.t, det))
                 self.dashboard.ingest_alert(det.t, "NorthToSouthReversal")
+                self.events.emit(
+                    "warn", "cep", "detection", "NorthToSouthReversal",
+                    t=det.t, position=det.position,
+                )
         self._wall_s += perf_counter() - wall_start
         self.metrics.gauge("realtime.wall_s").set(self._wall_s)
+        self.health.evaluate()
+        self.events.emit(
+            "info", "realtime", "run_finished",
+            raw=report.raw_fixes, clean=report.clean_fixes,
+            critical_points=report.critical_points,
+        )
         return report
 
     def system_metrics(self) -> dict[str, Any]:
         """The observability view of this layer: registry snapshot plus
-        the derived per-operator rates and consumer lags the dashboard shows."""
+        the derived per-operator rates, consumer lags, health states and
+        recent structured events the dashboard shows."""
+        self.health.evaluate()
         snap = self.metrics.snapshot()
         snap["operators"] = operator_rates(self.metrics)
         snap["consumer_lag"] = consumer_lags(self.metrics)
+        snap["health"] = self.health.snapshot()
+        snap["events"] = self.events.snapshot()
         return snap
 
     def _enrich(

@@ -39,6 +39,22 @@ class DiscoveryResult:
         return sum(1 for link in self.links if link.relation == relation)
 
 
+class _DiscoveryCounters:
+    """The ``linkdiscovery.<name>.*`` counter bundle (candidate/pruned pairs).
+
+    One per discoverer when a ``repro.obs.MetricsRegistry`` is attached;
+    ``None`` otherwise so the hot path stays branch-cheap.
+    """
+
+    __slots__ = ("entities", "candidates", "links", "mask_pruned")
+
+    def __init__(self, registry, name: str):
+        self.entities = registry.counter(f"linkdiscovery.{name}.entities")
+        self.candidates = registry.counter(f"linkdiscovery.{name}.candidate_pairs")
+        self.links = registry.counter(f"linkdiscovery.{name}.links")
+        self.mask_pruned = registry.counter(f"linkdiscovery.{name}.mask_pruned")
+
+
 class RegionLinkDiscoverer:
     """within/nearTo discovery between moving points and stationary regions."""
 
@@ -50,6 +66,8 @@ class RegionLinkDiscoverer:
         near_threshold_m: float = 0.0,
         use_masks: bool = True,
         mask_resolution: int = 8,
+        registry=None,
+        metrics_name: str = "region",
     ):
         if not regions:
             raise ValueError("no regions to link against")
@@ -61,10 +79,16 @@ class RegionLinkDiscoverer:
             if use_masks
             else None
         )
+        self._counters = _DiscoveryCounters(registry, metrics_name) if registry is not None else None
 
     def links_for(self, fix: PositionFix) -> tuple[list[Link], int]:
         """Links of one point; returns (links, refinement_count)."""
+        counters = self._counters
+        if counters is not None:
+            counters.entities.inc()
         if self.masks is not None and self.masks.in_mask(fix.lon, fix.lat):
+            if counters is not None:
+                counters.mask_pruned.inc()
             return [], 0
         links: list[Link] = []
         refinements = 0
@@ -76,6 +100,10 @@ class RegionLinkDiscoverer:
                 near, d = point_near_region(fix, region, self.near_threshold_m)
                 if near:
                     links.append(Link(fix.entity_id, region.region_id, NEAR_TO, fix.t, d))
+        if counters is not None:
+            counters.candidates.inc(refinements)
+            if links:
+                counters.links.inc(len(links))
         return links, refinements
 
     def discover(self, fixes: Iterable[PositionFix]) -> DiscoveryResult:
@@ -97,7 +125,15 @@ class RegionLinkDiscoverer:
 class PortLinkDiscoverer:
     """nearTo discovery between moving points and ports."""
 
-    def __init__(self, ports: Sequence[Port], bbox: BBox, threshold_m: float, cell_deg: float = 0.25):
+    def __init__(
+        self,
+        ports: Sequence[Port],
+        bbox: BBox,
+        threshold_m: float,
+        cell_deg: float = 0.25,
+        registry=None,
+        metrics_name: str = "port",
+    ):
         if not ports:
             raise ValueError("no ports to link against")
         if threshold_m <= 0:
@@ -105,6 +141,7 @@ class PortLinkDiscoverer:
         self.threshold_m = threshold_m
         self.grid = default_grid(bbox, cell_deg)
         self.blocks = PortBlocks(list(ports), self.grid, threshold_m)
+        self._counters = _DiscoveryCounters(registry, metrics_name) if registry is not None else None
 
     def links_for(self, fix: PositionFix) -> tuple[list[Link], int]:
         links: list[Link] = []
@@ -114,6 +151,12 @@ class PortLinkDiscoverer:
             near, d = point_near_port(fix, port, self.threshold_m)
             if near:
                 links.append(Link(fix.entity_id, port.port_id, NEAR_TO, fix.t, d))
+        counters = self._counters
+        if counters is not None:
+            counters.entities.inc()
+            counters.candidates.inc(refinements)
+            if links:
+                counters.links.inc(len(links))
         return links, refinements
 
     def discover(self, fixes: Iterable[PositionFix]) -> DiscoveryResult:

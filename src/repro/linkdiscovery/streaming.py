@@ -43,6 +43,7 @@ class MovingProximityDiscoverer:
         time_threshold_s: float,
         cell_deg: float = 0.25,
         self_links: bool = False,
+        registry=None,
     ):
         if space_threshold_m <= 0 or time_threshold_s <= 0:
             raise ValueError("thresholds must be positive")
@@ -54,6 +55,13 @@ class MovingProximityDiscoverer:
         # cell_id -> deque of recent fixes (append order = time order).
         self._cells: dict[int, deque[PositionFix]] = {}
         self.stats = StreamingStats()
+        if registry is not None:
+            # Candidate-pair/book-keeping accounting as live gauges over the
+            # stats the discoverer already keeps, plus the grid's footprint.
+            registry.gauge("linkdiscovery.proximity.candidate_pairs", fn=lambda: self.stats.comparisons)
+            registry.gauge("linkdiscovery.proximity.inserted", fn=lambda: self.stats.inserted)
+            registry.gauge("linkdiscovery.proximity.evicted", fn=lambda: self.stats.evicted)
+            registry.gauge("linkdiscovery.proximity.live_entries", fn=self.live_entries)
 
     def _evict(self, cell_id: int, now: float) -> None:
         """Drop entries out of temporal scope from one cell (book-keeping)."""

@@ -9,6 +9,16 @@ the broker are wired in through :mod:`repro.obs.instrument`; and a
 Figure-2 real-time layer.
 """
 
+from .events import EventLog, JsonlSink, ObsEvent, SEVERITIES, watch_broker, watch_window
+from .export import (
+    MetricsServer,
+    parse_openmetrics,
+    render_openmetrics,
+    sanitize_metric_name,
+    write_json_snapshot,
+    write_openmetrics,
+)
+from .health import DEGRADED, FAILING, OK, HealthMonitor, HealthRule, default_realtime_rules
 from .instrument import (
     OperatorProbe,
     consumer_lags,
@@ -23,17 +33,35 @@ from .tracing import Span, Tracer
 
 __all__ = [
     "Counter",
+    "DEGRADED",
+    "EventLog",
+    "FAILING",
     "Gauge",
+    "HealthMonitor",
+    "HealthRule",
     "Histogram",
+    "JsonlSink",
     "MetricsRegistry",
+    "MetricsServer",
+    "OK",
+    "ObsEvent",
     "OperatorProbe",
+    "SEVERITIES",
     "Span",
     "Tracer",
     "consumer_lags",
+    "default_realtime_rules",
     "format_snapshot",
     "instrument_broker",
     "instrument_consumer",
     "instrument_operator",
     "instrument_pipeline",
     "operator_rates",
+    "parse_openmetrics",
+    "render_openmetrics",
+    "sanitize_metric_name",
+    "watch_broker",
+    "watch_window",
+    "write_json_snapshot",
+    "write_openmetrics",
 ]

@@ -19,6 +19,8 @@ Naming conventions (what the dashboard and benches parse):
 * ``op.<name>.records_in`` / ``op.<name>.records_out`` — counters
 * ``op.<name>.latency_s`` — histogram of per-record processing seconds
 * ``op.<name>.queue_depth`` — gauge over buffered elements
+* ``op.<name>.watermark_lag_s`` / ``op.<name>.late_records`` — window
+  gauges (registered when the operator exposes them)
 * ``broker.topic.<topic>.{size,published,dropped}`` — topic gauges
 * ``broker.lag.<topic>.<group>`` — consumer-group lag gauges
 """
@@ -64,10 +66,19 @@ class OperatorProbe:
 
 
 def instrument_operator(op: "Operator", registry: MetricsRegistry, name: str | None = None) -> "Operator":
-    """Attach an :class:`OperatorProbe` and a queue-depth gauge to an operator."""
+    """Attach an :class:`OperatorProbe` and a queue-depth gauge to an operator.
+
+    Window operators (anything exposing ``watermark_lag_s``) also get an
+    ``op.<name>.watermark_lag_s`` gauge and an ``op.<name>.late_records``
+    gauge — the signals the health monitor's default rules watch.
+    """
     label = name or op.name
     op.probe = OperatorProbe(registry, label)
     registry.gauge(f"op.{label}.queue_depth", fn=op.pending)
+    if hasattr(op, "watermark_lag_s"):
+        registry.gauge(f"op.{label}.watermark_lag_s", fn=op.watermark_lag_s)
+    if hasattr(op, "late_records"):
+        registry.gauge(f"op.{label}.late_records", fn=lambda o=op: o.late_records)
     return op
 
 

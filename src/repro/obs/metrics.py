@@ -17,6 +17,7 @@ name, so snapshots are reproducible run to run.
 
 from __future__ import annotations
 
+import math
 import random
 import time
 from contextlib import contextmanager
@@ -103,14 +104,19 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self.sum / self.count if self.count else 0.0
+        return self.sum / self.count if self.count else math.nan
 
     def quantile(self, q: float) -> float:
-        """Nearest-rank quantile over the reservoir (exact while unsaturated)."""
+        """Nearest-rank quantile over the reservoir (exact while unsaturated).
+
+        An empty histogram has no quantiles: returns ``nan``, which is
+        distinguishable from a true zero-latency observation (``0.0``
+        here used to make "never ran" and "instant" identical).
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
         if not self._reservoir:
-            return 0.0
+            return math.nan
         ordered = sorted(self._reservoir)
         rank = min(len(ordered) - 1, int(q * len(ordered)))
         return ordered[rank]
@@ -120,7 +126,7 @@ class Histogram:
         out = {}
         for q in qs:
             if not ordered:
-                out[f"p{int(q * 100)}"] = 0.0
+                out[f"p{int(q * 100)}"] = math.nan
             else:
                 out[f"p{int(q * 100)}"] = ordered[min(len(ordered) - 1, int(q * len(ordered)))]
         return out
@@ -130,8 +136,8 @@ class Histogram:
             "count": self.count,
             "sum": self.sum,
             "mean": self.mean,
-            "min": self.min if self.count else 0.0,
-            "max": self.max if self.count else 0.0,
+            "min": self.min if self.count else math.nan,
+            "max": self.max if self.count else math.nan,
             **self.quantiles(),
         }
 
@@ -168,6 +174,13 @@ class MetricsRegistry:
         if g is None:
             g = self._gauges[name] = Gauge(name, fn)
         elif fn is not None:
+            if g._fn is None:
+                # A set-based gauge must not silently become callback-backed:
+                # the callback would shadow every value set() ever wrote.
+                raise ValueError(
+                    f"gauge {name!r} is set-based; re-registering it with a "
+                    "callback would silently discard its value"
+                )
             g._fn = fn  # re-binding a callback gauge replaces its source
         return g
 
@@ -206,6 +219,13 @@ class MetricsRegistry:
         }
 
 
+def _num(value: float, spec: str) -> str:
+    """Format a number, rendering NaN (empty histogram) as ``-``."""
+    if isinstance(value, float) and math.isnan(value):
+        return "-"
+    return format(value, spec)
+
+
 def format_snapshot(snapshot: dict[str, Any], title: str = "metrics snapshot") -> str:
     """Render a registry snapshot as an aligned text block (for benches)."""
     lines = [f"== {title} =="]
@@ -218,13 +238,14 @@ def format_snapshot(snapshot: dict[str, Any], title: str = "metrics snapshot") -
     if gauges:
         width = max(len(n) for n in gauges)
         lines.append("gauges:")
-        lines.extend(f"  {n:<{width}}  {v:>12,.3f}" for n, v in gauges.items())
+        lines.extend(f"  {n:<{width}}  {_num(v, ',.3f'):>12}" for n, v in gauges.items())
     histograms = snapshot.get("histograms", {})
     if histograms:
         lines.append("histograms (seconds unless named otherwise):")
         for name, h in histograms.items():
             lines.append(
-                f"  {name}: n={h['count']:,} mean={h['mean']:.6f} "
-                f"p50={h['p50']:.6f} p95={h['p95']:.6f} p99={h['p99']:.6f} max={h['max']:.6f}"
+                f"  {name}: n={h['count']:,} mean={_num(h['mean'], '.6f')} "
+                f"p50={_num(h['p50'], '.6f')} p95={_num(h['p95'], '.6f')} "
+                f"p99={_num(h['p99'], '.6f')} max={_num(h['max'], '.6f')}"
             )
     return "\n".join(lines)

@@ -36,6 +36,10 @@ class Topic:
         self._logs: list[list[TopicMessage]] = [[] for _ in range(partitions)]
         self._base_offsets = [0] * partitions  # offset of the first retained message
         self.stats = StreamStats()
+        #: Optional observability hook: called with the overflow count each
+        #: time retention trims messages. Attached by ``repro.obs.watch_broker``
+        #: — streams stays obs-agnostic, like ``Operator.probe``.
+        self.on_drop = None
 
     def __repr__(self) -> str:
         return f"Topic({self.name!r}, partitions={self.partitions}, size={self.size()})"
@@ -58,6 +62,8 @@ class Topic:
             del log[:overflow]
             self._base_offsets[part] += overflow
             self.stats.dropped += overflow
+            if self.on_drop is not None:
+                self.on_drop(overflow)
         return part, offset
 
     def size(self) -> int:

@@ -55,15 +55,38 @@ class TumblingWindow(Operator):
         self._buffers: dict[tuple[str | None, float], list[Any]] = {}
         self.late_records = 0
         self._watermark = -math.inf
+        self._min_event_time = math.inf
+        self._max_event_time = -math.inf
+        #: Optional observability hook: called with each record dropped as
+        #: late. Attached by ``repro.obs.watch_window``; streams stays
+        #: obs-agnostic, like ``Operator.probe``.
+        self.on_late = None
 
     def window_start(self, t: float) -> float:
         return math.floor((t - self.offset_s) / self.size_s) * self.size_s + self.offset_s
 
+    def watermark_lag_s(self) -> float:
+        """How far the watermark trails the newest event seen (0 before data).
+
+        A growing lag means records keep arriving but no watermark
+        advances to close their windows — buffered state only grows.
+        Before any watermark arrives, the lag is the event-time span
+        seen so far (the whole stream is unclosed).
+        """
+        if math.isinf(self._max_event_time):
+            return 0.0
+        floor = self._min_event_time if math.isinf(self._watermark) else self._watermark
+        return max(0.0, self._max_event_time - floor)
+
     def on_record(self, record: Record) -> list[StreamElement]:
+        self._min_event_time = min(self._min_event_time, record.t)
+        self._max_event_time = max(self._max_event_time, record.t)
         start = self.window_start(record.t)
         if start + self.size_s + self.allowed_lateness_s <= self._watermark:
             self.late_records += 1
             self.stats.dropped += 1
+            if self.on_late is not None:
+                self.on_late(record)
             return []
         self._buffers.setdefault((record.key, start), []).append(record.value)
         return []
@@ -123,7 +146,18 @@ class SlidingWindow(Operator):
         self.allowed_lateness_s = allowed_lateness_s
         self._buffers: dict[tuple[str | None, float], list[Any]] = {}
         self._watermark = -math.inf
+        self._min_event_time = math.inf
+        self._max_event_time = -math.inf
         self.late_records = 0
+        #: Optional observability hook; see :class:`TumblingWindow`.
+        self.on_late = None
+
+    def watermark_lag_s(self) -> float:
+        """Watermark lag; same semantics as :meth:`TumblingWindow.watermark_lag_s`."""
+        if math.isinf(self._max_event_time):
+            return 0.0
+        floor = self._min_event_time if math.isinf(self._watermark) else self._watermark
+        return max(0.0, self._max_event_time - floor)
 
     def _starts_for(self, t: float) -> Iterable[float]:
         """All window starts whose [start, start+size) contains t."""
@@ -134,6 +168,8 @@ class SlidingWindow(Operator):
             start -= self.slide_s
 
     def on_record(self, record: Record) -> list[StreamElement]:
+        self._min_event_time = min(self._min_event_time, record.t)
+        self._max_event_time = max(self._max_event_time, record.t)
         added_any = False
         for start in self._starts_for(record.t):
             if start + self.size_s + self.allowed_lateness_s <= self._watermark:
@@ -143,6 +179,8 @@ class SlidingWindow(Operator):
         if not added_any:
             self.late_records += 1
             self.stats.dropped += 1
+            if self.on_late is not None:
+                self.on_late(record)
         return []
 
     def on_watermark(self, watermark: Watermark) -> list[StreamElement]:

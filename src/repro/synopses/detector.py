@@ -87,12 +87,20 @@ class _EntityState:
 class SynopsesGenerator:
     """Streaming critical-point detector over a (keyed) fix stream."""
 
-    def __init__(self, config: SynopsesConfig | None = None):
+    def __init__(self, config: SynopsesConfig | None = None, registry=None):
         self.config = config or SynopsesConfig()
         self._states: dict[str, _EntityState] = {}
         self.points_in = 0
         self.points_out = 0
         self.noise_dropped = 0
+        if registry is not None:
+            # Callback gauges over counts the generator already tracks: zero
+            # hot-path cost, and the paper's compression claim is readable
+            # live under the ``synopses.*`` namespace.
+            registry.gauge("synopses.fixes_in", fn=lambda: self.points_in)
+            registry.gauge("synopses.points_out", fn=lambda: self.points_out)
+            registry.gauge("synopses.noise_dropped", fn=lambda: self.noise_dropped)
+            registry.gauge("synopses.compression_ratio", fn=self.compression_ratio)
 
     # -- public API -----------------------------------------------------------
 

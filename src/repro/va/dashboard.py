@@ -51,6 +51,9 @@ class Dashboard:
     layer counters live in the registry (``dashboard.*`` counters) and
     the frame gains an observability section — per-operator records/s
     and broker consumer lag — rendered straight from registry contents.
+    With a :class:`~repro.obs.HealthMonitor` attached as well, the frame
+    leads with the pipeline health line (system state plus any
+    non-``OK`` components).
     """
 
     def __init__(
@@ -60,11 +63,14 @@ class Dashboard:
         rows: int = 20,
         title: str = "situation monitor",
         registry: MetricsRegistry | None = None,
+        health=None,
     ):
         self.bbox = bbox
         self.grid = EquiGrid(bbox, cols, rows)
         self.title = title
         self.registry = registry
+        #: Optional ``repro.obs.HealthMonitor`` surfaced in the frame header.
+        self.health = health
         self.state = DashboardState()
 
     def _bump(self, counter: str, by: int = 1) -> None:
@@ -148,6 +154,22 @@ class Dashboard:
             lines.extend(f"  {name:<{width}}  {lag:>10,}" for name, lag in lags.items())
         return lines
 
+    def render_health(self) -> list[str]:
+        """The pipeline-health line: system state plus unhealthy components.
+
+        Empty without an attached health monitor.
+        """
+        if self.health is None:
+            return []
+        self.health.evaluate()
+        parts = [f"health: {self.health.system_state()}"]
+        parts.extend(
+            f"{component}={state}"
+            for component, state in sorted(self.health.states().items())
+            if state != "OK"
+        )
+        return ["  ".join(parts)]
+
     def render_frame(self, t: float | None = None) -> str:
         """One full dashboard frame as text."""
         header = f"== {self.title} =="
@@ -156,7 +178,9 @@ class Dashboard:
         counter_line = "  ".join(f"{k}={v}" for k, v in self._counter_items()) or "(no data)"
         body = self.render_map()
         events = self.state.recent_events or ["(no events)"]
-        parts = [header, counter_line, "+" + "-" * self.grid.cols + "+"]
+        parts = [header]
+        parts.extend(self.render_health())
+        parts.extend([counter_line, "+" + "-" * self.grid.cols + "+"])
         parts.extend("|" + line + "|" for line in body)
         parts.append("+" + "-" * self.grid.cols + "+")
         parts.append("recent events:")

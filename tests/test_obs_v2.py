@@ -1,0 +1,550 @@
+"""Tests for observability v2: event log, health monitor, OpenMetrics
+export, scrape endpoint, batch-layer instrumentation and the perf gate."""
+
+import importlib.util
+import json
+import math
+import urllib.request
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import PositionFix
+from repro.obs import (
+    DEGRADED,
+    FAILING,
+    OK,
+    EventLog,
+    HealthMonitor,
+    HealthRule,
+    JsonlSink,
+    MetricsRegistry,
+    MetricsServer,
+    default_realtime_rules,
+    format_snapshot,
+    instrument_operator,
+    parse_openmetrics,
+    render_openmetrics,
+    sanitize_metric_name,
+    watch_broker,
+    watch_window,
+    write_json_snapshot,
+    write_openmetrics,
+)
+from repro.obs.metrics import Histogram
+from repro.streams import Broker, Record, TumblingWindow, Watermark, count_aggregate
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_perf_gate():
+    """Import tools/perf_gate.py (a script, not a package module)."""
+    spec = importlib.util.spec_from_file_location(
+        "perf_gate", REPO_ROOT / "tools" / "perf_gate.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestEventLog:
+    def test_emit_and_filter(self):
+        log = EventLog(capacity=16)
+        log.emit("info", "broker", "started")
+        log.emit("warn", "broker", "retention_drop", dropped=3)
+        log.emit("error", "cep", "failure", t=42.0)
+        assert log.emitted == 3
+        assert [e.kind for e in log.events(component="broker")] == ["started", "retention_drop"]
+        assert [e.component for e in log.events(min_severity="warn")] == ["broker", "cep"]
+        assert log.events(kind="failure")[0].t == 42.0
+        assert log.events(component="broker", kind="retention_drop")[0].tags == {"dropped": 3}
+
+    def test_ring_overwrites_oldest(self):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.emit("info", "c", f"k{i}")
+        assert log.emitted == 5
+        assert len(log) == 3
+        assert log.overwritten == 2
+        assert [e.kind for e in log.tail()] == ["k2", "k3", "k4"]
+
+    def test_snapshot_shape(self):
+        log = EventLog(capacity=8)
+        log.emit("info", "c", "a")
+        log.emit("warn", "c", "b")
+        snap = log.snapshot(tail=1)
+        assert snap["emitted"] == 2 and snap["retained"] == 2
+        assert snap["by_severity"] == {"info": 1, "warn": 1}
+        assert len(snap["recent"]) == 1 and snap["recent"][0]["kind"] == "b"
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog().emit("fatal", "c", "k")
+
+    def test_sink_sees_events_the_ring_discards(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path) as sink:
+            log = EventLog(capacity=2, sink=sink)
+            for i in range(5):
+                log.emit("info", "c", f"k{i}")
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [row["kind"] for row in lines] == [f"k{i}" for i in range(5)]
+        assert sink.written == 5
+        assert len(log) == 2  # ring stayed bounded
+
+    def test_watch_broker_emits_retention_drops(self):
+        log = EventLog()
+        broker = Broker()
+        broker.create_topic("raw", retention=2)
+        watch_broker(broker, log)
+        for i in range(5):
+            broker.publish("raw", Record(float(i), i))
+        drops = log.events(component="broker", kind="retention_drop")
+        assert drops
+        assert sum(e.tags["dropped"] for e in drops) == 3
+        assert all(e.severity == "warn" for e in drops)
+
+    def test_watch_window_emits_late_records(self):
+        log = EventLog()
+        window = watch_window(TumblingWindow(10.0, count_aggregate), log, name="agg")
+        window.process(Record(1.0, "a", key="k"))
+        window.process(Watermark(20.0))
+        window.process(Record(2.0, "late", key="k"))   # behind the watermark
+        late = log.events(component="window:agg", kind="late_record")
+        assert len(late) == 1
+        assert late[0].t == 2.0 and late[0].tags["key"] == "k"
+
+
+class TestOpenMetrics:
+    def make_registry(self):
+        reg = MetricsRegistry(seed=5)
+        reg.counter("stage.raw.records").inc(12)
+        reg.gauge("broker.lag.raw.g1").set(3.0)
+        hist = reg.histogram("op.clean.latency_s")
+        for v in range(1, 101):
+            hist.observe(v / 1000.0)
+        return reg
+
+    def test_round_trips_through_parser(self):
+        reg = self.make_registry()
+        text = render_openmetrics(reg)
+        families = parse_openmetrics(text)
+        assert families["stage_raw_records"]["type"] == "counter"
+        assert families["stage_raw_records"]["samples"]["stage_raw_records_total"] == 12.0
+        assert families["broker_lag_raw_g1"]["type"] == "gauge"
+        assert families["broker_lag_raw_g1"]["samples"]["broker_lag_raw_g1"] == 3.0
+        summary = families["op_clean_latency_s"]
+        assert summary["type"] == "summary"
+        assert summary["samples"]["op_clean_latency_s_count"] == 100.0
+        assert summary["samples"]['op_clean_latency_s{quantile="0.5"}'] == pytest.approx(0.05, rel=0.2)
+
+    def test_snapshot_and_registry_render_identically(self):
+        reg = self.make_registry()
+        assert render_openmetrics(reg) == render_openmetrics(reg.snapshot())
+
+    def test_terminates_with_eof(self):
+        assert render_openmetrics(MetricsRegistry()).endswith("# EOF\n")
+
+    def test_prefix_and_sanitization(self):
+        assert sanitize_metric_name("op.clean-2.latency_s") == "op_clean_2_latency_s"
+        assert sanitize_metric_name("9lives") == "_9lives"
+        reg = MetricsRegistry()
+        reg.counter("a.b").inc()
+        families = parse_openmetrics(render_openmetrics(reg, prefix="repro"))
+        assert "repro_a_b" in families
+
+    def test_nan_gauge_renders_as_nan(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", fn=lambda: math.nan)
+        text = render_openmetrics(reg)
+        assert "g NaN" in text
+        families = parse_openmetrics(text)
+        assert math.isnan(families["g"]["samples"]["g"])
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_openmetrics("# TYPE x counter\nnot a sample line with too many fields\n")
+
+    def test_write_files(self, tmp_path):
+        reg = self.make_registry()
+        om = tmp_path / "snap.om"
+        js = tmp_path / "snap.json"
+        write_openmetrics(reg, om)
+        write_json_snapshot(reg, js, extra={"run": "test"})
+        assert parse_openmetrics(om.read_text())
+        payload = json.loads(js.read_text())
+        assert payload["run"] == "test"
+        assert payload["snapshot"]["counters"]["stage.raw.records"] == 12
+
+
+class TestMetricsServer:
+    def test_scrape_and_healthz(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(7)
+        reg.gauge("lag").set(0.0)
+        monitor = HealthMonitor(reg, escalate_after=1, recover_after=1)
+        monitor.add_rule("broker", "lag", 10.0, 100.0)
+        with MetricsServer(reg, health=monitor) as server:
+            with urllib.request.urlopen(f"{server.url}/metrics") as resp:
+                assert resp.status == 200
+                families = parse_openmetrics(resp.read().decode())
+            assert families["c"]["samples"]["c_total"] == 7.0
+            with urllib.request.urlopen(f"{server.url}/healthz") as resp:
+                body = json.loads(resp.read().decode())
+            assert resp.status == 200 and body["system"] == OK
+
+            # Drive the gauge over the failing threshold: /healthz turns 503.
+            reg.gauge("lag").set(500.0)
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(f"{server.url}/healthz")
+            assert err.value.code == 503
+            assert json.loads(err.value.read().decode())["system"] == FAILING
+
+    def test_unknown_path_404(self):
+        with MetricsServer(MetricsRegistry()) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(f"{server.url}/nope")
+            assert err.value.code == 404
+
+
+class TestHealthRule:
+    def test_levels(self):
+        rule = HealthRule("c", "m", degraded_above=10.0, failing_above=100.0)
+        assert rule.level(5.0) == OK
+        assert rule.level(50.0) == DEGRADED
+        assert rule.level(500.0) == FAILING
+        assert rule.level(math.nan) == OK  # no data is not an alert
+
+    def test_inverted_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            HealthRule("c", "m", degraded_above=10.0, failing_above=1.0)
+
+
+class TestHealthMonitor:
+    def make(self, escalate_after=2, recover_after=2):
+        reg = MetricsRegistry()
+        reg.gauge("broker.lag.raw.batch").set(0.0)
+        log = EventLog()
+        monitor = HealthMonitor(
+            reg, event_log=log, escalate_after=escalate_after, recover_after=recover_after
+        )
+        monitor.add_rule("broker", "broker.lag.*", 100.0, 1000.0)
+        return reg, log, monitor
+
+    def test_escalates_and_recovers_with_hysteresis(self):
+        reg, log, monitor = self.make()
+        gauge = reg.gauge("broker.lag.raw.batch")
+        assert monitor.evaluate()["broker"] == OK
+
+        gauge.set(200.0)                       # degraded regime
+        assert monitor.evaluate()["broker"] == OK          # 1st breach: held back
+        assert monitor.evaluate()["broker"] == DEGRADED    # 2nd consecutive: flips
+
+        gauge.set(2000.0)                      # failing regime
+        assert monitor.evaluate()["broker"] == DEGRADED
+        assert monitor.evaluate()["broker"] == FAILING
+        assert monitor.system_state() == FAILING
+
+        gauge.set(0.0)                         # recovery needs its own streak
+        assert monitor.evaluate()["broker"] == FAILING
+        assert monitor.evaluate()["broker"] == OK
+
+        kinds = [e.message for e in log.events(component="health", kind="transition")]
+        assert kinds == ["broker: OK -> DEGRADED", "broker: DEGRADED -> FAILING", "broker: FAILING -> OK"]
+
+    def test_single_spike_does_not_flap(self):
+        reg, _, monitor = self.make()
+        gauge = reg.gauge("broker.lag.raw.batch")
+        monitor.evaluate()
+        gauge.set(5000.0)
+        monitor.evaluate()       # one bad poll...
+        gauge.set(0.0)
+        monitor.evaluate()
+        assert monitor.state("broker") == OK
+        assert monitor.snapshot()["components"]["broker"]["transitions"] == 0
+
+    def test_wildcard_binds_gauges_registered_later(self):
+        reg = MetricsRegistry()
+        monitor = HealthMonitor(reg, escalate_after=1, recover_after=1)
+        monitor.add_rule("broker", "broker.lag.*", 100.0, 1000.0)
+        assert monitor.evaluate()["broker"] == OK   # no gauges yet: healthy
+        reg.gauge("broker.lag.clean.quality").set(50_000.0)
+        assert monitor.evaluate()["broker"] == FAILING
+        breach = monitor.snapshot()["components"]["broker"]["last_breach"]
+        assert breach == {"broker.lag.clean.quality": 50_000.0}
+
+    def test_snapshot_is_json_serializable(self):
+        _, _, monitor = self.make()
+        monitor.evaluate()
+        snap = monitor.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["system"] == OK
+
+    def test_default_rules_cover_the_figure2_modes(self):
+        monitor = default_realtime_rules(HealthMonitor(MetricsRegistry()))
+        metrics = {rule.metric for rule in monitor.rules()}
+        assert "broker.lag.*" in metrics
+        assert "op.*.queue_depth" in metrics
+        assert "op.*.watermark_lag_s" in metrics
+        assert "realtime.error_rate" in metrics
+
+
+class TestHistogramEmptyReservoir:
+    """Satellite: empty-reservoir statistics are NaN, not a fake 0.0."""
+
+    def test_quantiles_nan_when_empty(self):
+        h = Histogram("h", seed=0)
+        assert math.isnan(h.quantile(0.5))
+        assert all(math.isnan(v) for v in h.quantiles().values())
+        assert math.isnan(h.mean)
+
+    def test_snapshot_nan_min_max_when_empty(self):
+        snap = Histogram("h", seed=0).snapshot()
+        assert snap["count"] == 0
+        assert math.isnan(snap["min"]) and math.isnan(snap["max"])
+
+    def test_distinguishable_from_true_zero(self):
+        zero = Histogram("h", seed=0)
+        zero.observe(0.0)
+        assert zero.quantile(0.5) == 0.0            # a real observed zero
+        assert math.isnan(Histogram("h", seed=0).quantile(0.5))
+
+    def test_format_snapshot_renders_dash(self):
+        reg = MetricsRegistry()
+        reg.histogram("empty.latency_s")
+        text = format_snapshot(reg.snapshot())
+        line = next(ln for ln in text.splitlines() if "empty.latency_s" in ln)
+        assert "p50=-" in line and "nan" not in line
+
+
+class TestGaugeConflict:
+    """Satellite: re-registering a set-based gauge with a callback raises."""
+
+    def test_set_based_to_callback_rejected(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth").set(4.0)
+        with pytest.raises(ValueError, match="set-based"):
+            reg.gauge("depth", fn=lambda: 0.0)
+        assert reg.gauge("depth").value() == 4.0    # original survives
+
+    def test_callback_rebind_still_allowed(self):
+        reg = MetricsRegistry()
+        reg.gauge("live", fn=lambda: 1.0)
+        assert reg.gauge("live", fn=lambda: 2.0).value() == 2.0
+
+    def test_plain_reread_of_either_kind_ok(self):
+        reg = MetricsRegistry()
+        reg.gauge("a").set(1.0)
+        reg.gauge("b", fn=lambda: 5.0)
+        assert reg.gauge("a").value() == 1.0
+        assert reg.gauge("b").value() == 5.0
+
+
+def _run_realtime(trace_sample_every, fixes=None):
+    from repro.core import RealtimeLayer, SystemConfig
+    from repro.datasources import AISConfig, AISSimulator
+
+    config = SystemConfig(
+        n_regions=10, n_ports=5, seed=3, trace_sample_every=trace_sample_every
+    )
+    layer = RealtimeLayer(config)
+    if fixes is None:
+        sim = AISSimulator(n_vessels=2, seed=4, config=AISConfig(report_period_s=120.0))
+        fixes = sim.fixes(0.0, 1200.0)
+    report = layer.run(fixes)
+    return layer, report
+
+
+class TestTracerSampling:
+    """Satellite: sampling edges of the end-to-end lineage tracer."""
+
+    def test_sample_every_record(self):
+        layer, report = _run_realtime(trace_sample_every=1)
+        roots = [s for s in layer.tracer.spans() if s.name == "record"]
+        assert len(roots) == report.clean_fixes
+        assert all(s.finished for s in layer.tracer.spans())
+
+    def test_sampling_disabled(self):
+        layer, report = _run_realtime(trace_sample_every=0)
+        assert report.clean_fixes > 0
+        assert layer.tracer.spans() == []
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        offsets=st.lists(
+            st.integers(min_value=-2, max_value=8), min_size=3, max_size=30
+        )
+    )
+    def test_every_sampled_record_yields_one_finished_root(self, offsets):
+        """Even with regressing timestamps (records the pipeline drops),
+        each surviving clean fix opens exactly one finished root span."""
+        t = 0.0
+        fixes = []
+        for i, off in enumerate(offsets):
+            t += off * 30.0
+            fixes.append(
+                PositionFix("v1", t, lon=9.0 + i * 1e-3, lat=37.0, speed=5.0, heading=90.0)
+            )
+        layer, report = _run_realtime(trace_sample_every=1, fixes=fixes)
+        roots = [s for s in layer.tracer.spans() if s.name == "record"]
+        assert len(roots) == report.clean_fixes <= len(fixes)
+        assert all(s.finished for s in layer.tracer.spans())
+
+
+class TestWatermarkLag:
+    def test_lag_grows_then_watermark_catches_up(self):
+        w = TumblingWindow(10.0, count_aggregate)
+        assert w.watermark_lag_s() == 0.0            # no data yet
+        w.process(Record(5.0, "a"))
+        w.process(Record(65.0, "b"))
+        assert w.watermark_lag_s() == 60.0           # span before any watermark
+        w.process(Watermark(60.0))
+        assert w.watermark_lag_s() == 5.0
+        w.process(Watermark(100.0))
+        assert w.watermark_lag_s() == 0.0            # never negative
+
+    def test_instrumented_window_exports_lag_and_late_gauges(self):
+        reg = MetricsRegistry()
+        w = instrument_operator(TumblingWindow(10.0, count_aggregate), reg, name="win")
+        w.process(Record(1.0, "a"))
+        w.process(Watermark(50.0))
+        w.process(Record(2.0, "late"))
+        assert reg.gauge("op.win.watermark_lag_s").value() == 0.0
+        assert reg.gauge("op.win.late_records").value() == 1.0
+
+
+class TestBatchInstrumentation:
+    @pytest.fixture(scope="class")
+    def system(self):
+        from repro.core import DatacronSystem, SystemConfig
+        from repro.datasources import AISConfig, AISSimulator
+
+        config = SystemConfig(n_regions=10, n_ports=5, seed=3)
+        system = DatacronSystem(config, t_origin=0.0, t_extent_s=3600.0)
+        sim = AISSimulator(n_vessels=3, seed=4, config=AISConfig(report_period_s=60.0))
+        system.run(sim.fixes(0.0, 1800.0))
+        system.batch.nodes_in_range(config.bbox, 0.0, 1800.0)
+        return system
+
+    def test_kgstore_and_batch_metrics(self, system):
+        snap = system.metrics.snapshot()
+        assert snap["counters"]["kg.triples_loaded"] > 0
+        assert snap["counters"]["kg.queries"] >= 1
+        assert snap["gauges"]["kg.triples_stored"] > 0
+        assert snap["histograms"]["kg.query_latency_s"]["count"] >= 1
+        assert snap["counters"]["batch.ingests"] == 1
+        assert snap["histograms"]["batch.ingest_latency_s"]["count"] == 1
+
+    def test_synopses_and_linkdiscovery_metrics(self, system):
+        snap = system.metrics.snapshot()
+        assert snap["gauges"]["synopses.fixes_in"] > 0
+        assert 0.0 <= snap["gauges"]["synopses.compression_ratio"] <= 1.0
+        assert snap["counters"]["linkdiscovery.region.entities"] > 0
+        assert snap["counters"]["linkdiscovery.port.entities"] > 0
+        assert "linkdiscovery.proximity.candidate_pairs" in snap["gauges"]
+
+    def test_health_and_events_in_system_metrics(self, system):
+        snap = system.system_metrics()
+        assert snap["health"]["system"] in (OK, DEGRADED, FAILING)
+        assert set(snap["health"]["components"]) == {"broker", "clean", "streams"}
+        kinds = [e["kind"] for e in snap["events"]["recent"]]
+        assert "run_started" in kinds and "run_finished" in kinds
+
+    def test_dashboard_frame_leads_with_health(self, system):
+        frame = system.dashboard_frame(t=0.0)
+        assert frame.splitlines()[1].startswith("health: ")
+
+    def test_prediction_latency_histograms(self):
+        from repro.prediction import RMFPredictor
+
+        reg = MetricsRegistry()
+        predictor = RMFPredictor(f=2, window=6, registry=reg)
+        for i in range(6):
+            predictor.observe(PositionFix("a1", i * 10.0, lon=9.0 + i * 1e-3, lat=37.0))
+        predictor.predict(5)
+        snap = reg.snapshot()
+        assert snap["counters"]["prediction.rmf.predictions"] == 1
+        assert snap["histograms"]["prediction.rmf.h5.latency_s"]["count"] == 1
+
+    def test_cep_metrics(self):
+        from repro.cep import TURN_ALPHABET, WayebEngine, north_to_south_reversal, SimpleEvent
+
+        reg = MetricsRegistry()
+        engine = WayebEngine(
+            north_to_south_reversal(), TURN_ALPHABET, order=1, threshold=0.5, horizon=60,
+            registry=reg,
+        )
+        engine.train([TURN_ALPHABET[0]] * 10)
+        events = [SimpleEvent(TURN_ALPHABET[0], float(i)) for i in range(5)]
+        engine.run(events)
+        snap = reg.snapshot()
+        assert snap["counters"]["cep.events"] == 5
+        assert snap["counters"]["cep.automaton.transitions"] == 5
+        assert snap["histograms"]["cep.match_latency_s"]["count"] == 5
+
+
+class TestPerfGate:
+    def make_results(self):
+        return {
+            "benches": {
+                "benchmarks/bench_x.py::test_fast": {
+                    "counters": {"op.x.records_in": 1000},
+                    "gauges": {"ratio": 0.9},
+                    "histograms": {
+                        "op.x.latency_s": {
+                            "count": 1000, "sum": 1.0, "mean": 0.001,
+                            "min": 0.0005, "max": 0.01,
+                            "p50": 0.001, "p95": 0.002, "p99": 0.005,
+                        }
+                    },
+                }
+            }
+        }
+
+    def test_resolve_metric_paths(self):
+        gate = _load_perf_gate()
+        snap = self.make_results()["benches"]["benchmarks/bench_x.py::test_fast"]
+        assert gate.resolve_metric(snap, "counters.op.x.records_in") == 1000
+        assert gate.resolve_metric(snap, "gauges.ratio") == 0.9
+        assert gate.resolve_metric(snap, "histograms.op.x.latency_s.p95") == 0.002
+        assert gate.resolve_metric(snap, "counters.missing") is None
+        with pytest.raises(ValueError):
+            gate.resolve_metric(snap, "histograms.op.x.latency_s")   # no field
+        with pytest.raises(ValueError):
+            gate.resolve_metric(snap, "bogus.section")
+
+    def test_check_violations_and_warnings(self):
+        gate = _load_perf_gate()
+        budget = {"budgets": [
+            {"bench": "bench_x", "metric": "histograms.op.x.latency_s.p95", "max": 0.001},
+            {"bench": "bench_x", "metric": "gauges.ratio", "min": 0.5},
+            {"bench": "bench_x", "metric": "counters.not_recorded", "max": 1},
+            {"bench": "bench_absent", "metric": "gauges.ratio", "max": 1},
+        ]}
+        violations, warnings = gate.check(self.make_results(), budget)
+        assert len(violations) == 1 and "p95" in violations[0]
+        assert len(warnings) == 2
+
+    def test_exit_codes_on_synthetic_violation(self, tmp_path, capsys):
+        gate = _load_perf_gate()
+        results = tmp_path / "BENCH_obs.json"
+        results.write_text(json.dumps(self.make_results()))
+        budget = tmp_path / "budget.json"
+        budget.write_text(json.dumps({"budgets": [
+            {"bench": "bench_x", "metric": "histograms.op.x.latency_s.p95", "max": 1e-9},
+        ]}))
+        argv = ["--results", str(results), "--budget", str(budget)]
+        assert gate.main(argv) == 1
+        assert gate.main(argv + ["--warn-only"]) == 0
+        budget.write_text(json.dumps({"budgets": [
+            {"bench": "bench_x", "metric": "histograms.op.x.latency_s.p95", "max": 1.0},
+        ]}))
+        assert gate.main(argv) == 0
+        capsys.readouterr()
+
+    def test_missing_results_is_not_a_failure(self, tmp_path):
+        gate = _load_perf_gate()
+        assert gate.main(["--results", str(tmp_path / "nope.json")]) == 0

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""CI perf gate: compare a BENCH_obs.json snapshot against a budget file.
+
+The benchmarks persist one ``repro.obs`` registry snapshot per bench
+into ``BENCH_obs.json`` (see ``benchmarks/conftest.py``). The budget
+file declares bounds over those snapshots::
+
+    {
+      "budgets": [
+        {"bench": "bench_synopses", "metric": "gauges.synopses.compression_ratio",
+         "min": 0.6, "note": "paper reports >=92% on real AIS"},
+        {"bench": "bench_kgstore", "metric": "histograms.kg.query_latency_s.pushdown.p95",
+         "max": 0.5}
+      ]
+    }
+
+``bench`` is matched as a substring of the bench nodeid (so budgets
+survive test renames within a file). ``metric`` is a path into the
+snapshot: section (``counters`` | ``gauges`` | ``histograms``), the
+metric name, and — for histograms — a final field (``count``, ``sum``,
+``mean``, ``min``, ``max``, ``p50``, ``p95``, ``p99``).
+
+Exit codes: 0 when every budget holds (missing benches/metrics only
+warn — a partial bench run must not fail the gate), 1 on any violation.
+``--warn-only`` reports violations but still exits 0, for first landings
+where the budget has no CI history yet.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+#: Valid trailing fields of a histogram snapshot entry.
+HISTOGRAM_FIELDS = ("count", "sum", "mean", "min", "max", "p50", "p95", "p99")
+
+
+def resolve_metric(snapshot: dict, path: str) -> float | None:
+    """Look up ``<section>.<name>[.<field>]`` in one registry snapshot.
+
+    Returns ``None`` when the metric is absent (the bench did not record
+    it), and raises ``ValueError`` on a malformed path.
+    """
+    section, _, rest = path.partition(".")
+    if section not in ("counters", "gauges", "histograms"):
+        raise ValueError(f"unknown snapshot section in metric path: {path!r}")
+    table = snapshot.get(section, {})
+    if section in ("counters", "gauges"):
+        return table.get(rest)
+    # histograms: the name itself may contain dots, the field is the last
+    # component — but only when it names a histogram field.
+    name, _, field = rest.rpartition(".")
+    if not name or field not in HISTOGRAM_FIELDS:
+        raise ValueError(
+            f"histogram metric path must end in one of {HISTOGRAM_FIELDS}: {path!r}"
+        )
+    entry = table.get(name)
+    if entry is None:
+        return None
+    return entry.get(field)
+
+
+def find_bench(benches: dict, pattern: str) -> tuple[str, dict] | None:
+    """The snapshot whose nodeid contains ``pattern`` (first match wins)."""
+    for nodeid in sorted(benches):
+        if pattern in nodeid:
+            return nodeid, benches[nodeid]
+    return None
+
+
+def check(results: dict, budget: dict) -> tuple[list[str], list[str]]:
+    """Evaluate every budget entry; returns (violations, warnings)."""
+    violations: list[str] = []
+    warnings: list[str] = []
+    benches = results.get("benches", {})
+    for entry in budget.get("budgets", []):
+        pattern = entry["bench"]
+        metric = entry["metric"]
+        label = f"{pattern} :: {metric}"
+        match = find_bench(benches, pattern)
+        if match is None:
+            warnings.append(f"{label}: no bench matching {pattern!r} in results")
+            continue
+        nodeid, snapshot = match
+        value = resolve_metric(snapshot, metric)
+        if value is None or (isinstance(value, float) and math.isnan(value)):
+            warnings.append(f"{label}: metric absent in {nodeid}")
+            continue
+        note = f" ({entry['note']})" if entry.get("note") else ""
+        if "max" in entry and value > entry["max"]:
+            violations.append(
+                f"{label}: {value:g} exceeds budget max {entry['max']:g}{note} [{nodeid}]"
+            )
+        if "min" in entry and value < entry["min"]:
+            violations.append(
+                f"{label}: {value:g} below budget min {entry['min']:g}{note} [{nodeid}]"
+            )
+    return violations, warnings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results", type=Path, default=Path("BENCH_obs.json"),
+        help="bench snapshot file (default: ./BENCH_obs.json)",
+    )
+    parser.add_argument(
+        "--budget", type=Path, default=Path("tools/perf_budget.json"),
+        help="budget file (default: tools/perf_budget.json)",
+    )
+    parser.add_argument(
+        "--warn-only", action="store_true",
+        help="report violations but exit 0 (for budgets without CI history)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.results.exists():
+        print(f"perf-gate: results file {args.results} missing — nothing to check")
+        return 0
+    results = json.loads(args.results.read_text())
+    budget = json.loads(args.budget.read_text())
+
+    violations, warnings = check(results, budget)
+    for warning in warnings:
+        print(f"perf-gate WARN  {warning}")
+    for violation in violations:
+        print(f"perf-gate FAIL  {violation}")
+    n_checked = len(budget.get("budgets", []))
+    print(
+        f"perf-gate: {n_checked} budgets, {len(violations)} violations, "
+        f"{len(warnings)} warnings"
+    )
+    if violations and not args.warn_only:
+        return 1
+    if violations:
+        print("perf-gate: --warn-only set, not failing the build")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
