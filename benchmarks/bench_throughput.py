@@ -1,0 +1,223 @@
+"""Columnar fast path — throughput of the batched vs per-record hot loops.
+
+Two workloads at ~10x the tier-1 test scale, each timing the old
+per-record path against the batched/vectorized fast path on identical
+inputs and asserting the outputs match:
+
+* **broker** — publish+poll records/s through a keyed multi-partition
+  topic: per-record ``Topic.publish`` vs ``Topic.publish_many`` chunks,
+  both drained through ``Consumer.poll``;
+* **pushdown** — the E5 star join with a spatio-temporal constraint on
+  the scaled AIS corpus (~0.5M triples): ``KGStore.execute`` with the
+  scalar scan (``vectorized=False``) vs the columnar scan.
+
+Besides the usual ``BENCH_obs.json`` snapshot, this bench persists
+``BENCH_throughput.json`` at the repo root — the input for the
+*enforcing* throughput floors in ``tools/perf_budget.json`` (see
+``tools/perf_gate.py``): speedups below the floors fail CI even under
+``--warn-only``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import statistics
+from pathlib import Path
+from time import perf_counter
+
+import pytest
+
+from repro.datasources import AISConfig, AISSimulator, DEFAULT_BBOX
+from repro.geo import BBox
+from repro.kgstore import KGStore, STConstraint, star
+from repro.obs import MetricsRegistry
+from repro.rdf import A, VOC, var
+from repro.rdf.rdfizers import raw_fix_rdfizer, synopses_rdfizer
+from repro.streams import Broker, Record
+from repro.synopses import SynopsesGenerator
+
+from _tables import format_table
+
+#: Broker workload: 10x the ~20k-record tier-1 streaming workloads.
+N_RECORDS = 200_000
+N_PARTITIONS = 4
+N_KEYS = 64
+PUBLISH_CHUNK = 2_048
+POLL_CHUNK = 4_096
+
+#: The selective-window star query of bench_kgstore (E5 regime).
+WINDOW = STConstraint(BBox(8.0, 36.0, 12.0, 39.0), 0.0, 2 * 3600.0)
+
+#: Accumulated results, rewritten to BENCH_throughput.json after each test.
+_RESULTS: dict[str, dict] = {}
+
+
+def _persist() -> Path:
+    path = Path(__file__).resolve().parents[1] / "BENCH_throughput.json"
+    path.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def node_query(st=WINDOW):
+    return star(
+        "node",
+        (A, VOC.RawPosition),
+        (VOC.timestamp, var("t")),
+        (VOC.asWKT, var("wkt")),
+        st=st,
+    )
+
+
+# -- broker: per-record vs batched publish+poll ------------------------------------
+
+
+def _make_records(n: int) -> list[Record]:
+    rng = random.Random(11)
+    keys = [f"vessel-{i:03d}" for i in range(N_KEYS)]
+    return [Record(float(i), i, key=keys[rng.randrange(N_KEYS)]) for i in range(n)]
+
+
+def _publish_poll_per_record(records: list[Record]) -> tuple[float, list[Record]]:
+    broker = Broker()
+    topic = broker.create_topic("bench.per_record", partitions=N_PARTITIONS)
+    consumer = broker.consumer("bench.per_record", "bench")
+    start = perf_counter()
+    for record in records:
+        topic.publish(record)
+    out: list[Record] = []
+    while True:
+        batch = consumer.poll(max_messages=POLL_CHUNK)
+        if not batch:
+            break
+        out.extend(batch)
+    return perf_counter() - start, out
+
+
+def _publish_poll_batched(records: list[Record]) -> tuple[float, list[Record]]:
+    broker = Broker()
+    topic = broker.create_topic("bench.batched", partitions=N_PARTITIONS)
+    consumer = broker.consumer("bench.batched", "bench")
+    start = perf_counter()
+    for i in range(0, len(records), PUBLISH_CHUNK):
+        topic.publish_many(records[i : i + PUBLISH_CHUNK])
+    out: list[Record] = []
+    while True:
+        batch = consumer.poll(max_messages=POLL_CHUNK)
+        if not batch:
+            break
+        out.extend(batch)
+    return perf_counter() - start, out
+
+
+def test_broker_publish_poll_throughput(console, benchmark, emit_metrics):
+    records = _make_records(N_RECORDS)
+    per_record_times: list[float] = []
+    batched_times: list[float] = []
+    for _ in range(3):
+        elapsed, out_base = _publish_poll_per_record(records)
+        per_record_times.append(elapsed)
+        elapsed, out_fast = _publish_poll_batched(records)
+        batched_times.append(elapsed)
+        # The fast path must deliver the identical stream.
+        assert [(r.t, r.value, r.key) for r in out_fast] == [
+            (r.t, r.value, r.key) for r in out_base
+        ]
+    per_record_s = statistics.median(per_record_times)
+    batched_s = statistics.median(batched_times)
+    speedup = per_record_s / batched_s
+    _RESULTS["broker"] = {
+        "records": N_RECORDS,
+        "partitions": N_PARTITIONS,
+        "keys": N_KEYS,
+        "publish_chunk": PUBLISH_CHUNK,
+        "per_record": {"publish_poll_s": per_record_s, "records_s": N_RECORDS / per_record_s},
+        "batched": {"publish_poll_s": batched_s, "records_s": N_RECORDS / batched_s},
+        "speedup": speedup,
+    }
+    path = _persist()
+    registry = MetricsRegistry()
+    registry.gauge("throughput.broker.per_record_records_s").set(N_RECORDS / per_record_s)
+    registry.gauge("throughput.broker.batched_records_s").set(N_RECORDS / batched_s)
+    registry.gauge("throughput.broker.speedup").set(speedup)
+    with console():
+        print(format_table(
+            f"Broker publish+poll, {N_RECORDS:,} keyed records over {N_PARTITIONS} partitions",
+            ["path", "wall", "records/s"],
+            [
+                ["per-record publish", f"{per_record_s * 1e3:.0f} ms", f"{N_RECORDS / per_record_s:,.0f}"],
+                ["publish_many batches", f"{batched_s * 1e3:.0f} ms", f"{N_RECORDS / batched_s:,.0f}"],
+            ],
+            width=22,
+        ))
+        print(f"speedup: {speedup:.2f}x  -> {path.name}")
+    assert speedup > 2.0, f"batched broker path only {speedup:.2f}x faster"
+    benchmark(lambda: _publish_poll_batched(records))
+    emit_metrics(registry, benchmark, title="broker throughput (columnar fast path)")
+
+
+# -- kgstore: scalar vs vectorized pushdown scan -----------------------------------
+
+
+@pytest.fixture(scope="module")
+def store():
+    """The bench_kgstore corpus: ~0.5M triples, ~10x the tier-1 tests."""
+    sim = AISSimulator(
+        n_vessels=150, seed=37,
+        config=AISConfig(report_period_s=30.0, gap_probability_per_hour=0.0, outlier_probability=0.0),
+    )
+    fixes = list(sim.fixes(0.0, 6 * 3600.0))
+    gen = SynopsesGenerator()
+    points = list(gen.process_stream(fixes)) + gen.flush()
+    triples = list(synopses_rdfizer(points).triples())
+    triples += list(raw_fix_rdfizer(fixes).triples())
+    kg = KGStore(DEFAULT_BBOX, t_origin=0.0, t_extent_s=6 * 3600.0,
+                 layout="property_table", grid_cols=72, grid_rows=32, t_slots=48,
+                 registry=MetricsRegistry())
+    kg.load(triples)
+    return kg
+
+
+def test_pushdown_scan_vectorized(store, console, benchmark, emit_metrics):
+    kg = store
+    query = node_query()
+    scalar_times: list[float] = []
+    vector_times: list[float] = []
+    for _ in range(5):
+        start = perf_counter()
+        scalar_bindings, _ = kg.execute(query, pushdown=True, vectorized=False)
+        scalar_times.append(perf_counter() - start)
+        start = perf_counter()
+        vector_bindings, _ = kg.execute(query, pushdown=True, vectorized=True)
+        vector_times.append(perf_counter() - start)
+        assert vector_bindings == scalar_bindings
+    scalar_s = statistics.median(scalar_times)
+    vector_s = statistics.median(vector_times)
+    speedup = scalar_s / vector_s
+    _RESULTS["pushdown"] = {
+        "triples": len(kg),
+        "layout": "property_table",
+        "results": len(vector_bindings),
+        "scalar_scan_s": scalar_s,
+        "vectorized_scan_s": vector_s,
+        "speedup": speedup,
+    }
+    path = _persist()
+    registry = kg.registry
+    registry.gauge("throughput.pushdown.scalar_scan_s").set(scalar_s)
+    registry.gauge("throughput.pushdown.vectorized_scan_s").set(vector_s)
+    registry.gauge("throughput.pushdown.speedup").set(speedup)
+    with console():
+        print(format_table(
+            f"Pushdown star scan over {len(kg):,} triples (property_table)",
+            ["scan", "median latency", "results"],
+            [
+                ["scalar rows", f"{scalar_s * 1e3:.1f} ms", len(scalar_bindings)],
+                ["vectorized columns", f"{vector_s * 1e3:.1f} ms", len(vector_bindings)],
+            ],
+            width=22,
+        ))
+        print(f"speedup: {speedup:.2f}x  -> {path.name}")
+    assert speedup > 3.0, f"vectorized pushdown scan only {speedup:.2f}x faster"
+    benchmark(lambda: kg.execute(query, pushdown=True, vectorized=True)[1].results)
+    emit_metrics(registry, benchmark, title="kgstore scan throughput (columnar fast path)")

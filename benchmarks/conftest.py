@@ -77,12 +77,25 @@ def _slug(nodeid: str) -> str:
 
 
 def pytest_sessionfinish(session):
-    """Persist the session's emitted snapshots for the CI perf gate."""
+    """Persist the session's emitted snapshots for the CI perf gate.
+
+    Snapshots merge into an existing ``BENCH_obs.json`` (per-nodeid,
+    latest run wins), so CI can split the bench suite over several
+    pytest invocations without each one clobbering the previous file.
+    """
     if not _SNAPSHOTS:
         return
     root = Path(session.config.rootpath)
-    payload = {"benches": dict(sorted(_SNAPSHOTS.items()))}
-    (root / "BENCH_obs.json").write_text(json.dumps(payload, indent=2, sort_keys=True))
+    out = root / "BENCH_obs.json"
+    benches: dict[str, dict] = {}
+    if out.exists():
+        try:
+            benches = json.loads(out.read_text()).get("benches", {})
+        except (json.JSONDecodeError, AttributeError):
+            benches = {}
+    benches.update(_SNAPSHOTS)
+    payload = {"benches": dict(sorted(benches.items()))}
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True))
     try:
         from repro.obs import write_openmetrics
     except ImportError:

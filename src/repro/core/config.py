@@ -33,5 +33,8 @@ class SystemConfig:
     seed: int = 7
     #: Trace every Nth clean fix end to end (0 disables lineage tracing).
     trace_sample_every: int = 256
+    #: Broker publishes coalesce into batches of this size (the columnar
+    #: fast path through the Figure-2 loop); 1 restores per-fix publishing.
+    publish_batch_size: int = 256
     #: Ring size of the structured event log (oldest events overwritten).
     event_log_capacity: int = 1024

@@ -48,7 +48,7 @@ from ..obs import (
     operator_rates,
     watch_broker,
 )
-from ..streams import Broker, Record
+from ..streams import Broker, Record, TopicBatcher
 from ..synopses import CriticalPoint, SynopsesGenerator
 from ..va import Dashboard
 
@@ -153,10 +153,14 @@ class RealtimeLayer:
         trace_every = self.config.trace_sample_every
         fix_latency = self.metrics.histogram("realtime.fix_latency_s")
         cep_events: list[SimpleEvent] = []
-        raw_topic = self.broker.topic(TOPIC_RAW)
-        clean_topic = self.broker.topic(TOPIC_CLEAN)
-        syn_topic = self.broker.topic(TOPIC_SYNOPSES)
-        link_topic = self.broker.topic(TOPIC_LINKS)
+        # Publish per batch, not per fix: each Figure-2 hop buffers into a
+        # TopicBatcher that flushes through the broker's publish_many fast
+        # path (identical topic contents/offsets/stats to per-fix publishes).
+        batch_size = max(1, self.config.publish_batch_size)
+        raw_topic = TopicBatcher(self.broker.topic(TOPIC_RAW), batch_size)
+        clean_topic = TopicBatcher(self.broker.topic(TOPIC_CLEAN), batch_size)
+        syn_topic = TopicBatcher(self.broker.topic(TOPIC_SYNOPSES), batch_size)
+        link_topic = TopicBatcher(self.broker.topic(TOPIC_LINKS), batch_size)
         raw_counter = self.metrics.counter("stage.raw.records")
         self.events.emit("info", "realtime", "run_started")
 
@@ -164,7 +168,7 @@ class RealtimeLayer:
             for fix in fixes:
                 report.raw_fixes += 1
                 raw_counter.inc()
-                raw_topic.publish(Record(fix.t, fix, key=fix.entity_id))
+                raw_topic.add(Record(fix.t, fix, key=fix.entity_id))
                 yield fix
 
         wall_start = perf_counter()
@@ -181,7 +185,7 @@ class RealtimeLayer:
             if trace_every and report.clean_fixes % trace_every == 0:
                 span = tracer.start_trace("record", entity_id=fix.entity_id, t=fix.t)
             report.clean_fixes += 1
-            clean_topic.publish(Record(fix.t, fix, key=fix.entity_id))
+            clean_topic.add(Record(fix.t, fix, key=fix.entity_id))
             self.dashboard.ingest_fix(fix)
             # Low-level area events.
             child = tracer.start_span("area_events", span) if span else None
@@ -200,7 +204,7 @@ class RealtimeLayer:
                 tracer.finish(child)
             for cp in points:
                 report.critical_points += 1
-                syn_topic.publish(Record(cp.t, cp, key=cp.entity_id))
+                syn_topic.add(Record(cp.t, cp, key=cp.entity_id))
                 self.dashboard.ingest_critical_point(cp)
                 self._enrich(cp, link_topic, report, parent_span=span)
                 cep_events.extend(turn_event_stream([cp]))
@@ -210,7 +214,7 @@ class RealtimeLayer:
         # Trailing synopsis points.
         for cp in self.synopses.flush():
             report.critical_points += 1
-            syn_topic.publish(Record(cp.t, cp, key=cp.entity_id))
+            syn_topic.add(Record(cp.t, cp, key=cp.entity_id))
             self._enrich(cp, link_topic, report)
             cep_events.extend(turn_event_stream([cp]))
         # Complex event recognition & forecasting over the synopsis stream.
@@ -222,14 +226,19 @@ class RealtimeLayer:
             probes["cep"].observe(
                 len(run.detections) + len(run.forecasts), perf_counter() - t0, n_in=len(cep_events)
             )
-            events_topic = self.broker.topic(TOPIC_EVENTS)
+            events_topic = TopicBatcher(self.broker.topic(TOPIC_EVENTS), batch_size)
             for det in run.detections:
-                events_topic.publish(Record(det.t, det))
+                events_topic.add(Record(det.t, det))
                 self.dashboard.ingest_alert(det.t, "NorthToSouthReversal")
                 self.events.emit(
                     "warn", "cep", "detection", "NorthToSouthReversal",
                     t=det.t, position=det.position,
                 )
+            events_topic.flush()
+        # Flush every hop's remaining buffered publishes before the run's
+        # wall clock stops and the health rules read the topic gauges.
+        for batcher in (raw_topic, clean_topic, syn_topic, link_topic):
+            batcher.flush()
         self._wall_s += perf_counter() - wall_start
         self.metrics.gauge("realtime.wall_s").set(self._wall_s)
         self.health.evaluate()
@@ -255,7 +264,7 @@ class RealtimeLayer:
     def _enrich(
         self,
         cp: CriticalPoint,
-        link_topic,
+        link_topic: TopicBatcher,
         report: RealtimeReport,
         parent_span=None,
     ) -> None:
@@ -281,4 +290,4 @@ class RealtimeLayer:
             self.tracer.finish(child)
         report.links += len(links)
         for link in links:
-            link_topic.publish(Record(link.t, link, key=link.source_id))
+            link_topic.add(Record(link.t, link, key=link.source_id))

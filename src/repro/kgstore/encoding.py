@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..geo import BBox, SpatioTemporalGrid
 from ..rdf import Term
 
@@ -98,3 +100,17 @@ class Dictionary:
     def id_matches_slots(term_id: int, slots: set[int]) -> bool:
         """Constraint check evaluated purely on the encoded id."""
         return (term_id >> SERIAL_BITS) in slots
+
+    @staticmethod
+    def slots_to_array(slots: set[int]) -> np.ndarray:
+        """A slot set as a sorted int64 array, for vectorized matching."""
+        return np.sort(np.fromiter(slots, dtype=np.int64, count=len(slots)))
+
+    @staticmethod
+    def ids_match_slots(term_ids: np.ndarray, slot_array: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`id_matches_slots`: one boolean per encoded id.
+
+        ``slot_array`` must be sorted (see :meth:`slots_to_array`); matching
+        is one shift plus one ``np.isin`` over the whole id column.
+        """
+        return np.isin(term_ids >> SERIAL_BITS, slot_array, assume_unique=False, kind="sort")

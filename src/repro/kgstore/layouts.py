@@ -21,6 +21,51 @@ EncodedTriple = tuple[int, int, int]
 
 
 @dataclass(frozen=True, slots=True)
+class TripleColumns:
+    """Encoded triples as parallel int64 columns — the columnar exchange format.
+
+    ``KGStore`` keeps its triples in this shape and hands it to layout
+    constructors directly, so layouts can bucket/partition with numpy masks
+    instead of per-triple Python loops.
+    """
+
+    s: np.ndarray
+    p: np.ndarray
+    o: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.s)
+
+    @staticmethod
+    def from_triples(triples: Iterable[EncodedTriple]) -> "TripleColumns":
+        rows = triples if isinstance(triples, list) else list(triples)
+        if rows:
+            arr = np.asarray(rows, dtype=np.int64)
+            return TripleColumns(arr[:, 0].copy(), arr[:, 1].copy(), arr[:, 2].copy())
+        empty = np.empty(0, dtype=np.int64)
+        return TripleColumns(empty, empty.copy(), empty.copy())
+
+    @staticmethod
+    def empty() -> "TripleColumns":
+        e = np.empty(0, dtype=np.int64)
+        return TripleColumns(e, e.copy(), e.copy())
+
+    def concat(self, other: "TripleColumns") -> "TripleColumns":
+        """A new column set with ``other`` appended (the growing-store path)."""
+        return TripleColumns(
+            np.concatenate([self.s, other.s]),
+            np.concatenate([self.p, other.p]),
+            np.concatenate([self.o, other.o]),
+        )
+
+
+def _as_columns(triples: "Iterable[EncodedTriple] | TripleColumns") -> TripleColumns:
+    if isinstance(triples, TripleColumns):
+        return triples
+    return TripleColumns.from_triples(triples)
+
+
+@dataclass(frozen=True, slots=True)
 class Partition:
     """One columnar chunk of encoded triples."""
 
@@ -45,13 +90,16 @@ class TriplesTable:
 
     name = "triples_table"
 
-    def __init__(self, triples: Iterable[EncodedTriple], n_partitions: int = 4):
+    def __init__(self, triples: "Iterable[EncodedTriple] | TripleColumns", n_partitions: int = 4):
         if n_partitions < 1:
             raise ValueError("need at least one partition")
-        buckets: list[list[EncodedTriple]] = [[] for _ in range(n_partitions)]
-        for s, p, o in triples:
-            buckets[s % n_partitions].append((s, p, o))
-        self.partitions = [_to_partition(b) for b in buckets]
+        cols = _as_columns(triples)
+        bucket_of = cols.s % n_partitions
+        self.partitions = [
+            Partition(cols.s[m], cols.p[m], cols.o[m])
+            for k in range(n_partitions)
+            for m in (bucket_of == k,)
+        ]
 
     def __len__(self) -> int:
         return sum(len(p) for p in self.partitions)
@@ -73,21 +121,30 @@ class VerticalPartitioning:
 
     name = "vertical_partitioning"
 
-    def __init__(self, triples: Iterable[EncodedTriple], n_partitions: int = 4):
+    def __init__(self, triples: "Iterable[EncodedTriple] | TripleColumns", n_partitions: int = 4):
         if n_partitions < 1:
             raise ValueError("need at least one partition")
         self.n_partitions = n_partitions
-        grouped: dict[int, list[EncodedTriple]] = {}
-        for s, p, o in triples:
-            grouped.setdefault(p, []).append((s, p, o))
+        cols = _as_columns(triples)
         self._tables: dict[int, list[Partition]] = {}
-        self._size = 0
-        for p_id, rows in grouped.items():
-            buckets: list[list[EncodedTriple]] = [[] for _ in range(n_partitions)]
-            for s, p, o in rows:
-                buckets[s % n_partitions].append((s, p, o))
-            self._tables[p_id] = [_to_partition(b) for b in buckets if b]
-            self._size += len(rows)
+        self._size = len(cols)
+        if not len(cols):
+            return
+        # Predicate tables keep first-occurrence order (dict-insertion parity
+        # with the per-triple build), buckets keep input row order.
+        uniq, first_idx = np.unique(cols.p, return_index=True)
+        for p_id in uniq[np.argsort(first_idx)].tolist():
+            p_mask = cols.p == p_id
+            s = cols.s[p_mask]
+            p = cols.p[p_mask]
+            o = cols.o[p_mask]
+            bucket_of = s % n_partitions
+            parts = []
+            for k in range(n_partitions):
+                m = bucket_of == k
+                if m.any():
+                    parts.append(Partition(s[m], p[m], o[m]))
+            self._tables[p_id] = parts
 
     def __len__(self) -> int:
         return self._size
@@ -116,19 +173,25 @@ class PropertyTable:
 
     name = "property_table"
 
-    def __init__(self, triples: Iterable[EncodedTriple], n_partitions: int = 4):
+    def __init__(self, triples: "Iterable[EncodedTriple] | TripleColumns", n_partitions: int = 4):
         if n_partitions < 1:
             raise ValueError("need at least one partition")
         self.n_partitions = n_partitions
         self._rows: dict[int, dict[int, int]] = {}
         self._overflow: list[EncodedTriple] = []
         self._size = 0
+        if isinstance(triples, TripleColumns):
+            triples = zip(triples.s.tolist(), triples.p.tolist(), triples.o.tolist())
         for s, p, o in triples:
             row = self._rows.setdefault(s, {})
             if p in row:
                 self._overflow.append((s, p, row[p]))
             row[p] = o
             self._size += 1
+        # Columnar star-scan view, built lazily: subjects in row-insertion
+        # order plus one dense (present, object) column pair per predicate.
+        self._subjects_arr: np.ndarray | None = None
+        self._columns: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
     def __len__(self) -> int:
         return self._size
@@ -152,6 +215,44 @@ class PropertyTable:
                 objs.append(o)
             if complete:
                 yield s_id, objs
+
+    def _column(self, p_id: int) -> tuple[np.ndarray, np.ndarray]:
+        """The dense (present-mask, object) column of one predicate (cached)."""
+        cached = self._columns.get(p_id)
+        if cached is not None:
+            return cached
+        n = len(self._rows)
+        present = np.zeros(n, dtype=bool)
+        col = np.zeros(n, dtype=np.int64)
+        for i, row in enumerate(self._rows.values()):
+            o = row.get(p_id)
+            if o is not None:
+                present[i] = True
+                col[i] = o
+        self._columns[p_id] = (present, col)
+        return present, col
+
+    def star_scan_arrays(self, predicate_ids: list[int]) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`star_scan`: (subjects, objects-matrix) arrays.
+
+        Subjects come back in row-insertion order — the exact order
+        :meth:`star_scan` yields — with one object column per requested
+        predicate (shape ``(n_subjects, n_predicates)``).
+        """
+        if self._subjects_arr is None:
+            self._subjects_arr = np.fromiter(self._rows.keys(), dtype=np.int64, count=len(self._rows))
+        columns = [self._column(p_id) for p_id in predicate_ids]
+        mask: np.ndarray | None = None
+        for present, _ in columns:
+            mask = present if mask is None else (mask & present)
+        if mask is None:  # no predicates requested
+            mask = np.ones(len(self._subjects_arr), dtype=bool)
+        subjects = self._subjects_arr[mask]
+        if columns:
+            objs = np.stack([col[mask] for _, col in columns], axis=1)
+        else:
+            objs = np.empty((len(subjects), 0), dtype=np.int64)
+        return subjects, objs
 
     def scan(self) -> Iterator[Partition]:
         rows: list[EncodedTriple] = [(s, p, o) for s, props in self._rows.items() for p, o in props.items()]

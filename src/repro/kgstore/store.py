@@ -21,11 +21,13 @@ import time
 from dataclasses import dataclass
 from typing import Iterable
 
+import numpy as np
+
 from ..geo import BBox, EquiGrid, SpatioTemporalGrid, parse_point
 from ..rdf import Literal, Term, Triple, Variable, VOC
 
 from .encoding import Dictionary, STPosition
-from .layouts import LAYOUTS, PropertyTable
+from .layouts import LAYOUTS, PropertyTable, TripleColumns
 from .sparql import STConstraint, StarQuery
 
 
@@ -42,11 +44,15 @@ class QueryMetrics:
 
 @dataclass
 class LoadReport:
-    """What loading produced."""
+    """What one :meth:`KGStore.load` call produced (batch-scoped counts).
 
-    triples: int = 0
-    subjects: int = 0
-    anchored_subjects: int = 0  # subjects with a spatio-temporal position
+    Store-wide totals live on the store itself (``len(store)`` and the
+    ``kg.triples_stored`` / ``kg.anchored_subjects`` gauges), not here.
+    """
+
+    triples: int = 0            # triples in the batch just loaded
+    subjects: int = 0           # distinct subjects in the batch just loaded
+    anchored_subjects: int = 0  # batch subjects with a spatio-temporal position
 
 
 class KGStore:
@@ -83,7 +89,11 @@ class KGStore:
         self.registry = registry
         self._layout = None
         self._positions: dict[int, STPosition] = {}   # subject id -> exact anchor
-        self._encoded: list[tuple[int, int, int]] = []
+        #: The store's triples as growing numpy columns (the columnar truth).
+        self._cols = TripleColumns.empty()
+        # Anchors as parallel (id, lon, lat, t) arrays sorted by id, built
+        # lazily for the vectorized refine step; invalidated on load.
+        self._anchor_arrays_cache: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = None
 
     # -- loading ---------------------------------------------------------------
 
@@ -110,46 +120,68 @@ class KGStore:
             point = parse_point(wkt)
             anchors[subject] = STPosition(point.lon, point.lat, t)
 
-        # Pass 2: encode with anchored subject ids.
+        # Pass 2: encode with anchored subject ids, into columnar batch buffers.
         report = LoadReport()
         seen_subjects: set[int] = set()
+        anchored_subjects: set[int] = set()
+        s_ids: list[int] = []
+        p_ids: list[int] = []
+        o_ids: list[int] = []
         for tr in batch:
-            s_id = self.dictionary.encode(tr.s, anchors.get(tr.s))
-            p_id = self.dictionary.encode(tr.p)
-            o_id = self.dictionary.encode(tr.o)
-            self._encoded.append((s_id, p_id, o_id))
-            seen_subjects.add(s_id)
             anchor = anchors.get(tr.s)
+            s_id = self.dictionary.encode(tr.s, anchor)
+            s_ids.append(s_id)
+            p_ids.append(self.dictionary.encode(tr.p))
+            o_ids.append(self.dictionary.encode(tr.o))
+            seen_subjects.add(s_id)
             if anchor is not None:
+                anchored_subjects.add(s_id)
                 self._positions[s_id] = anchor
-        report.triples = len(self._encoded)
-        report.subjects = len({s for s, _, _ in self._encoded})
-        report.anchored_subjects = len(self._positions)
-        self._layout = LAYOUTS[self.layout_name](self._encoded, n_partitions=self.n_partitions)
+        report.triples = len(batch)
+        report.subjects = len(seen_subjects)
+        report.anchored_subjects = len(anchored_subjects)
+        batch_cols = TripleColumns(
+            np.asarray(s_ids, dtype=np.int64),
+            np.asarray(p_ids, dtype=np.int64),
+            np.asarray(o_ids, dtype=np.int64),
+        )
+        self._cols = self._cols.concat(batch_cols)
+        self._anchor_arrays_cache = None
+        self._layout = LAYOUTS[self.layout_name](self._cols, n_partitions=self.n_partitions)
         if self.registry is not None:
             self.registry.counter("kg.triples_loaded").inc(len(batch))
             self.registry.counter("kg.loads").inc()
             self.registry.histogram("kg.load_latency_s").observe(time.perf_counter() - start)
-            self.registry.gauge("kg.triples_stored").set(len(self._encoded))
+            self.registry.gauge("kg.triples_stored").set(len(self._cols))
             self.registry.gauge("kg.anchored_subjects").set(len(self._positions))
         return report
 
     def __len__(self) -> int:
-        return len(self._encoded)
+        return len(self._cols)
 
     # -- query execution ---------------------------------------------------------
 
-    def execute(self, query: StarQuery, pushdown: bool = True) -> tuple[list[dict[str, Term]], QueryMetrics]:
+    def execute(
+        self, query: StarQuery, pushdown: bool = True, vectorized: bool = True
+    ) -> tuple[list[dict[str, Term]], QueryMetrics]:
         """Run a star query; returns (bindings, metrics).
 
         ``pushdown=False`` forces the baseline post-filter plan.
+        ``vectorized=False`` forces the per-row scalar execution path; the
+        default columnar path returns identical bindings (same order) and
+        identical :class:`QueryMetrics` counters, enforced by the
+        equivalence property tests.
         """
         if self._layout is None:
             raise RuntimeError("store is empty; call load() first")
         metrics = QueryMetrics()
         start = time.perf_counter()
-        rows = self._star_rows(query, metrics, pushdown)
-        bindings = self._refine_and_project(query, rows, metrics, pushdown)
+        if vectorized:
+            subjects, objects = self._star_rows_vectorized(query, metrics, pushdown)
+            bindings = self._refine_and_project_vectorized(query, subjects, objects, metrics)
+        else:
+            rows = self._star_rows(query, metrics, pushdown)
+            bindings = self._refine_and_project(query, rows, metrics, pushdown)
         metrics.wall_seconds = time.perf_counter() - start
         metrics.results = len(bindings)
         if self.registry is not None:
@@ -228,6 +260,126 @@ class KGStore:
         metrics.candidates = len(rows)
         return rows
 
+    def _star_rows_vectorized(
+        self, query: StarQuery, metrics: QueryMetrics, pushdown: bool
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Columnar :meth:`_star_rows`: (subjects, objects-matrix) arrays.
+
+        Slot pruning is one shift + ``np.isin`` over the whole subject
+        column; fixed-object arms are equality masks. Candidate order and
+        every :class:`QueryMetrics` counter match the scalar path exactly.
+        """
+        no_rows = (np.empty(0, dtype=np.int64), np.empty((0, len(query.arms)), dtype=np.int64))
+        arms = self._resolve_arms(query)
+        if arms is None:
+            return no_rows
+        slot_array = None
+        if pushdown and query.st is not None:
+            slot_array = Dictionary.slots_to_array(self._slots_for(query.st))
+
+        if isinstance(self._layout, PropertyTable):
+            subjects, objects = self._layout.star_scan_arrays([p for p, _ in arms])
+            metrics.join_rows += len(subjects)
+            keep = np.ones(len(subjects), dtype=bool)
+            if slot_array is not None:
+                keep &= Dictionary.ids_match_slots(subjects, slot_array)
+            for i, (_, fixed) in enumerate(arms):
+                if fixed is not None:
+                    keep &= objects[:, i] == fixed
+            subjects, objects = subjects[keep], objects[keep]
+            metrics.candidates = len(subjects)
+            return subjects, objects
+
+        # TriplesTable / VerticalPartitioning: cascade of hash semi-joins,
+        # with the per-partition slot/fixed filters vectorized so only the
+        # survivors enter the Python-dict join.
+        rows: dict[int, list[int]] = {}
+        first = True
+        for p_id, fixed in arms:
+            arm_hits: dict[int, int] = {}
+            for part in self._layout.scan_predicate(p_id):
+                metrics.join_rows += len(part)
+                s_col, o_col = part.s, part.o
+                if slot_array is not None:
+                    mask = Dictionary.ids_match_slots(s_col, slot_array)
+                    s_col, o_col = s_col[mask], o_col[mask]
+                if fixed is not None:
+                    mask = o_col == fixed
+                    s_col, o_col = s_col[mask], o_col[mask]
+                arm_hits.update(zip(s_col.tolist(), o_col.tolist()))
+            if first:
+                rows = {s: [o] for s, o in arm_hits.items()}
+                first = False
+            else:
+                rows = {s: objs + [arm_hits[s]] for s, objs in rows.items() if s in arm_hits}
+            if not rows:
+                break
+        metrics.candidates = len(rows)
+        if not rows:
+            return no_rows
+        subjects = np.fromiter(rows.keys(), dtype=np.int64, count=len(rows))
+        objects = np.asarray(list(rows.values()), dtype=np.int64)
+        return subjects, objects
+
+    def _anchor_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Subject anchors as parallel (id, lon, lat, t) arrays sorted by id."""
+        cached = self._anchor_arrays_cache
+        if cached is None:
+            n = len(self._positions)
+            ids = np.fromiter(self._positions.keys(), dtype=np.int64, count=n)
+            lons = np.fromiter((a.lon for a in self._positions.values()), dtype=np.float64, count=n)
+            lats = np.fromiter((a.lat for a in self._positions.values()), dtype=np.float64, count=n)
+            ts = np.fromiter((a.t for a in self._positions.values()), dtype=np.float64, count=n)
+            order = np.argsort(ids)
+            cached = (ids[order], lons[order], lats[order], ts[order])
+            self._anchor_arrays_cache = cached
+        return cached
+
+    def _refine_and_project_vectorized(
+        self,
+        query: StarQuery,
+        subjects: np.ndarray,
+        objects: np.ndarray,
+        metrics: QueryMetrics,
+    ) -> list[dict[str, Term]]:
+        """Columnar :meth:`_refine_and_project`: one bbox/time mask over the
+        survivors' anchor arrays instead of a dict probe per row."""
+        st = query.st
+        if st is not None and len(subjects):
+            metrics.refined += len(subjects)
+            ids, lons, lats, ts = self._anchor_arrays()
+            if len(ids):
+                pos = np.searchsorted(ids, subjects).clip(max=len(ids) - 1)
+                keep = ids[pos] == subjects
+                lon, lat, t = lons[pos], lats[pos], ts[pos]
+                bbox = st.bbox
+                keep &= (t >= st.t_min) & (t <= st.t_max)
+                keep &= (lon >= bbox.min_lon) & (lon <= bbox.max_lon)
+                keep &= (lat >= bbox.min_lat) & (lat <= bbox.max_lat)
+            else:
+                keep = np.zeros(len(subjects), dtype=bool)
+            subjects, objects = subjects[keep], objects[keep]
+        elif st is not None:
+            metrics.refined += len(subjects)
+        bindings: list[dict[str, Term]] = []
+        decode = self.dictionary.decode
+        subject_name = query.subject.name
+        arm_objs = query.arms
+        for s_id, objs in zip(subjects.tolist(), objects.tolist()):
+            binding: dict[str, Term] = {subject_name: decode(s_id)}
+            ok = True
+            for (_, obj), o_id in zip(arm_objs, objs):
+                if isinstance(obj, Variable):
+                    existing = binding.get(obj.name)
+                    decoded = decode(o_id)
+                    if existing is not None and existing != decoded:
+                        ok = False
+                        break
+                    binding[obj.name] = decoded
+            if ok:
+                bindings.append(binding)
+        return bindings
+
     def _refine_and_project(
         self,
         query: StarQuery,
@@ -267,7 +419,11 @@ class KGStore:
                 _, metrics = self.execute(query, pushdown=pushdown)
                 times.append(metrics.wall_seconds)
             times.sort()
-            return times[len(times) // 2]
+            mid = len(times) // 2
+            if len(times) % 2:
+                return times[mid]
+            # True median: even repeat counts average the two middle runs.
+            return (times[mid - 1] + times[mid]) / 2.0
 
         baseline = median_time(False)
         pushed = median_time(True)

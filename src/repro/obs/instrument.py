@@ -41,21 +41,28 @@ class OperatorProbe:
     """The per-operator metric bundle, attached to ``Operator.probe``.
 
     ``Operator.process`` calls :meth:`observe` once per record with the
-    fan-out count and the wall seconds spent in ``on_record``.
+    fan-out count and the wall seconds spent in ``on_record``; the batched
+    ``Operator.process_batch`` path calls it once per record *run* with
+    ``n_in`` set to the run length, so the counters stay exact either way.
+    ``op.<name>.batches`` counts observe calls — per-record processing has
+    ``batches == records_in``, the batched path far fewer — and the latency
+    histogram holds per-call (i.e. per record or per batch) seconds.
     """
 
-    __slots__ = ("name", "records_in", "records_out", "latency")
+    __slots__ = ("name", "records_in", "records_out", "batches", "latency")
 
     def __init__(self, registry: MetricsRegistry, name: str):
         self.name = name
         self.records_in = registry.counter(f"op.{name}.records_in")
         self.records_out = registry.counter(f"op.{name}.records_out")
+        self.batches = registry.counter(f"op.{name}.batches")
         self.latency = registry.histogram(f"op.{name}.latency_s")
 
     def observe(self, n_out: int, seconds: float, n_in: int = 1) -> None:
         self.records_in.inc(n_in)
         if n_out:
             self.records_out.inc(n_out)
+        self.batches.inc()
         self.latency.observe(seconds)
 
     def rate_records_s(self) -> float:

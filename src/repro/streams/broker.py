@@ -6,18 +6,24 @@ relies on — named topics, partitions by key, multiple independent
 consumer groups with their own offsets, bounded retention — in a
 single deterministic process, so the integrated pipeline (repro.core)
 can be wired exactly like Figure 2 and tested end to end.
+
+Storage is columnar in spirit: a partition log is a plain list of
+records plus one base offset, so a message's offset is its position in
+the log — nothing is wrapped per record on the publish hot path, and a
+batched read is one list slice. :class:`TopicMessage` objects are
+materialized only by the offset-explicit :meth:`Topic.read` view.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator
+import heapq
+from collections import Counter
+from typing import Iterable, Iterator, NamedTuple
 
 from .record import Record, StreamStats
 
 
-@dataclass(frozen=True, slots=True)
-class TopicMessage:
+class TopicMessage(NamedTuple):
     """A record as stored in a topic partition, with its offset."""
 
     offset: int
@@ -33,7 +39,7 @@ class Topic:
         self.name = name
         self.partitions = partitions
         self.retention = retention
-        self._logs: list[list[TopicMessage]] = [[] for _ in range(partitions)]
+        self._logs: list[list[Record]] = [[] for _ in range(partitions)]
         self._base_offsets = [0] * partitions  # offset of the first retained message
         self.stats = StreamStats()
         #: Optional observability hook: called with the overflow count each
@@ -56,7 +62,7 @@ class Topic:
         self.stats.saw_record(record)
         log = self._logs[part]
         offset = self._base_offsets[part] + len(log)
-        log.append(TopicMessage(offset, record))
+        log.append(record)
         if self.retention is not None and len(log) > self.retention:
             overflow = len(log) - self.retention
             del log[:overflow]
@@ -66,6 +72,61 @@ class Topic:
                 self.on_drop(overflow)
         return part, offset
 
+    def publish_many(self, records: Iterable[Record]) -> list[tuple[int, int]]:
+        """Append a batch of records; returns one (partition, offset) per record.
+
+        The batched fast path: each distinct key is hashed once, the stats
+        are updated once for the whole batch (keyed counts through a C-level
+        ``Counter``), appends run grouped per partition, and retention trims
+        at most once per partition. Final log contents, offsets, base
+        offsets and drop counts are identical to calling :meth:`publish`
+        per record — only ``on_drop`` coalesces (one call per trimmed
+        partition with the partition's total overflow, instead of one call
+        per overflowing record).
+        """
+        batch = records if isinstance(records, list) else list(records)
+        if not batch:
+            return []
+        n_parts = self.partitions
+        stats = self.stats
+        key_counts = Counter(record.key for record in batch)
+        key_counts.pop(None, None)  # keyless records don't enter by_key
+        by_key = stats.by_key
+        for key, count in key_counts.items():
+            by_key[key] = by_key.get(key, 0) + count
+        counter = stats.records_in  # round-robin base for keyless records
+        stats.records_in += len(batch)
+        # Single routing pass: each distinct key is hashed once per batch.
+        part_of_key = {key: _stable_hash(key) % n_parts for key in key_counts}
+        if n_parts == 1:
+            start = self._base_offsets[0] + len(self._logs[0])
+            self._logs[0].extend(batch)
+            results = [(0, offset) for offset in range(start, start + len(batch))]
+        else:
+            logs = self._logs
+            next_offsets = [base + len(log) for base, log in zip(self._base_offsets, logs)]
+            results = []
+            add_result = results.append
+            for record in batch:
+                key = record.key
+                part = part_of_key[key] if key is not None else counter % n_parts
+                counter += 1
+                offset = next_offsets[part]
+                next_offsets[part] = offset + 1
+                logs[part].append(record)
+                add_result((part, offset))
+        if self.retention is not None:
+            for part in range(n_parts):
+                log = self._logs[part]
+                overflow = len(log) - self.retention
+                if overflow > 0:
+                    del log[:overflow]
+                    self._base_offsets[part] += overflow
+                    stats.dropped += overflow
+                    if self.on_drop is not None:
+                        self.on_drop(overflow)
+        return results
+
     def size(self) -> int:
         """Total retained messages across partitions."""
         return sum(len(log) for log in self._logs)
@@ -74,15 +135,30 @@ class Topic:
         """The next-to-be-assigned offset of each partition."""
         return [base + len(log) for base, log in zip(self._base_offsets, self._logs)]
 
+    def beginning_offsets(self) -> list[int]:
+        """The earliest retained offset of each partition."""
+        return list(self._base_offsets)
+
     def read(self, partition: int, from_offset: int, max_messages: int | None = None) -> list[TopicMessage]:
         """Read messages of a partition starting at ``from_offset``."""
+        first_offset, records = self.read_records(partition, from_offset, max_messages)
+        return [TopicMessage(first_offset + i, record) for i, record in enumerate(records)]
+
+    def read_records(
+        self, partition: int, from_offset: int, max_messages: int | None = None
+    ) -> tuple[int, list[Record]]:
+        """Batched read: (first offset, records) — one list slice, no wrapping.
+
+        The fast path consumers use; offsets are implicit (``first_offset +
+        index``) because a partition log is append-only and contiguous.
+        """
         if not 0 <= partition < self.partitions:
             raise ValueError(f"partition {partition} out of range")
         log = self._logs[partition]
         base = self._base_offsets[partition]
         start = max(0, from_offset - base)
         end = len(log) if max_messages is None else min(len(log), start + max_messages)
-        return log[start:end]
+        return base + start, log[start:end]
 
 
 class Consumer:
@@ -106,24 +182,48 @@ class Consumer:
         a batch, the next poll resumes *after* the partition that exhausted
         the budget. A fixed scan order would let a busy low-numbered
         partition starve the rest indefinitely under sustained load.
+
+        Batched fast path: each partition fetch is one log slice already in
+        offset order, so when every fetched run is also non-decreasing in
+        event time the runs are pre-merged with a k-way merge (or returned
+        directly when only one partition produced messages) instead of
+        re-sorting every message. Out-of-order runs fall back to the full
+        stable sort; both paths order by ``(record.t, offset)`` with ties
+        broken by partition scan order, so the delivered sequence is
+        identical either way.
         """
-        fetched: list[TopicMessage] = []
+        runs: list[tuple[int, list[Record]]] = []
         budget = max_messages
         n = self.topic.partitions
         start = self._next_partition
         for i in range(n):
             part = (start + i) % n
-            msgs = self.topic.read(part, self._offsets[part], budget)
-            if msgs:
-                self._offsets[part] = msgs[-1].offset + 1
-                fetched.extend(msgs)
+            first_offset, records = self.topic.read_records(part, self._offsets[part], budget)
+            if records:
+                self._offsets[part] = first_offset + len(records)
+                runs.append((first_offset, records))
                 if budget is not None:
-                    budget -= len(msgs)
+                    budget -= len(records)
                     if budget <= 0:
                         self._next_partition = (part + 1) % n
                         break
-        fetched.sort(key=lambda m: (m.record.t, m.offset))
-        return [m.record for m in fetched]
+        if not runs:
+            return []
+        if all(_time_ordered(records) for _, records in runs):
+            if len(runs) == 1:
+                return runs[0][1]
+            merged = heapq.merge(
+                *(zip(range(first, first + len(records)), records) for first, records in runs),
+                key=lambda pair: (pair[1].t, pair[0]),
+            )
+            return [record for _, record in merged]
+        fetched = [
+            (record.t, first + i, record)
+            for first, records in runs
+            for i, record in enumerate(records)
+        ]
+        fetched.sort(key=lambda entry: (entry[0], entry[1]))
+        return [record for _, _, record in fetched]
 
     def lag(self) -> int:
         """Messages published but not yet consumed by this group."""
@@ -135,8 +235,7 @@ class Consumer:
 
     def seek_to_beginning(self) -> None:
         """Rewind to the earliest retained offsets (batch-layer replay)."""
-        ends = self.topic.end_offsets()
-        self._offsets = [ends[p] - len(self.topic.read(p, 0)) for p in range(self.topic.partitions)]
+        self._offsets = self.topic.beginning_offsets()
 
 
 class Broker:
@@ -192,6 +291,52 @@ class Broker:
     def publish(self, topic_name: str, record: Record) -> None:
         """Convenience: publish a record to a (pre-created) topic."""
         self.topic(topic_name).publish(record)
+
+    def publish_many(self, topic_name: str, records: Iterable[Record]) -> int:
+        """Convenience: batch-publish to a (pre-created) topic; returns the count."""
+        return len(self.topic(topic_name).publish_many(records))
+
+
+class TopicBatcher:
+    """Coalesce per-record publishes into :meth:`Topic.publish_many` flushes.
+
+    The glue the integrated real-time layer uses to publish per batch
+    instead of per fix: records accumulate in a buffer that flushes
+    automatically at ``batch_size`` and explicitly at end of run. Within a
+    single-threaded run this is publish-order preserving, so topic
+    contents, offsets and stats are identical to per-record publishing —
+    only the point in time at which they appear moves to the flush.
+    """
+
+    __slots__ = ("topic", "batch_size", "_buffer")
+
+    def __init__(self, topic: Topic, batch_size: int = 256):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.topic = topic
+        self.batch_size = batch_size
+        self._buffer: list[Record] = []
+
+    def add(self, record: Record) -> None:
+        self._buffer.append(record)
+        if len(self._buffer) >= self.batch_size:
+            self.flush()
+
+    def pending(self) -> int:
+        return len(self._buffer)
+
+    def flush(self) -> int:
+        """Publish everything buffered; returns the number published."""
+        if not self._buffer:
+            return 0
+        published = len(self.topic.publish_many(self._buffer))
+        self._buffer = []
+        return published
+
+
+def _time_ordered(records: list[Record]) -> bool:
+    """Whether a fetched run is non-decreasing in event time."""
+    return all(records[i].t <= records[i + 1].t for i in range(len(records) - 1))
 
 
 def _stable_hash(key: str) -> int:

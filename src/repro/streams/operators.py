@@ -43,11 +43,12 @@ class Operator:
         if self.probe is not None:
             start = perf_counter()
             out = self.on_record(element)
-            n_out = sum(1 for e in out if isinstance(e, Record))
-            self.probe.observe(n_out, perf_counter() - start)
+            elapsed = perf_counter() - start
         else:
             out = self.on_record(element)
-            n_out = sum(1 for e in out if isinstance(e, Record))
+        n_out = sum(1 for e in out if isinstance(e, Record))
+        if self.probe is not None:
+            self.probe.observe(n_out, elapsed)
         self.stats.emitted(n_out)
         return out
 
@@ -56,6 +57,61 @@ class Operator:
         out: list[StreamElement] = []
         for el in elements:
             out.extend(self.process(el))
+        return out
+
+    def process_batch(self, elements: Iterable[StreamElement]) -> list[StreamElement]:
+        """The batched fast path: feed many elements with batch-level accounting.
+
+        Runs of consecutive records are handed to :meth:`on_batch` as one
+        call — the whole run is timed once into the probe (``n_in`` set to
+        the run length) and the stream stats are bumped once per run instead
+        of once per record. Watermarks split runs so event-time ordering
+        relative to records is preserved. Emitted elements, stats counters
+        and probe totals are identical to calling :meth:`process` per
+        element; only the probe's latency histogram sees per-run instead of
+        per-record observations.
+        """
+        out: list[StreamElement] = []
+        run: list[Record] = []
+        for el in elements:
+            if isinstance(el, Watermark):
+                if run:
+                    self._process_run(run, out)
+                    run = []
+                out.extend(self.on_watermark(el))
+                self.stats.watermarks += 1
+            else:
+                run.append(el)
+        if run:
+            self._process_run(run, out)
+        return out
+
+    def _process_run(self, records: list[Record], out: list[StreamElement]) -> None:
+        """Process one watermark-free run of records through :meth:`on_batch`."""
+        self.stats.saw_records(records)
+        if self.probe is not None:
+            start = perf_counter()
+            emitted = self.on_batch(records)
+            elapsed = perf_counter() - start
+        else:
+            emitted = self.on_batch(records)
+        n_out = sum(1 for e in emitted if isinstance(e, Record))
+        if self.probe is not None:
+            self.probe.observe(n_out, elapsed, n_in=len(records))
+        self.stats.emitted(n_out)
+        out.extend(emitted)
+
+    def on_batch(self, records: list[Record]) -> list[StreamElement]:
+        """Batched record kernel; default delegates to :meth:`on_record`.
+
+        Subclasses with per-record logic cheap enough to inline (map,
+        filter, ...) override this with a single-comprehension kernel.
+        Overrides must keep per-record semantics bit-identical, including
+        side effects such as drop counting.
+        """
+        out: list[StreamElement] = []
+        for record in records:
+            out.extend(self.on_record(record))
         return out
 
     def on_record(self, record: Record) -> list[StreamElement]:
@@ -86,6 +142,10 @@ class Map(Operator):
     def on_record(self, record: Record) -> list[StreamElement]:
         return [record.with_value(self.fn(record.value))]
 
+    def on_batch(self, records: list[Record]) -> list[StreamElement]:
+        fn = self.fn
+        return [r.with_value(fn(r.value)) for r in records]
+
 
 class Filter(Operator):
     """Keep only records whose value satisfies the predicate."""
@@ -102,6 +162,12 @@ class Filter(Operator):
         self.stats.dropped += 1
         return []
 
+    def on_batch(self, records: list[Record]) -> list[StreamElement]:
+        predicate = self.predicate
+        kept = [r for r in records if predicate(r.value)]
+        self.stats.dropped += len(records) - len(kept)
+        return kept
+
 
 class FlatMap(Operator):
     """Apply a function returning an iterable; emit one record per item."""
@@ -115,6 +181,10 @@ class FlatMap(Operator):
     def on_record(self, record: Record) -> list[StreamElement]:
         return [record.with_value(v) for v in self.fn(record.value)]
 
+    def on_batch(self, records: list[Record]) -> list[StreamElement]:
+        fn = self.fn
+        return [r.with_value(v) for r in records for v in fn(r.value)]
+
 
 class KeyBy(Operator):
     """Re-key records with a key extractor over the value."""
@@ -127,6 +197,10 @@ class KeyBy(Operator):
 
     def on_record(self, record: Record) -> list[StreamElement]:
         return [record.with_key(self.key_fn(record.value))]
+
+    def on_batch(self, records: list[Record]) -> list[StreamElement]:
+        key_fn = self.key_fn
+        return [r.with_key(key_fn(r.value)) for r in records]
 
 
 class KeyedProcess(Operator, Generic[T]):
@@ -199,16 +273,19 @@ class LatencyProbe(Operator):
         super().__init__()
         self.count = 0
         self.first_t: float | None = None
-        self.last_t: float | None = None
+        self.max_t: float | None = None
 
     def on_record(self, record: Record) -> list[StreamElement]:
         self.count += 1
         if self.first_t is None:
             self.first_t = record.t
-        self.last_t = record.t
+        # Track the max, not the last: out-of-order event times must not
+        # shrink (or negate) the reported span.
+        if self.max_t is None or record.t > self.max_t:
+            self.max_t = record.t
         return [record]
 
     def event_time_span(self) -> float:
-        if self.first_t is None or self.last_t is None:
+        if self.first_t is None or self.max_t is None:
             return 0.0
-        return self.last_t - self.first_t
+        return self.max_t - self.first_t

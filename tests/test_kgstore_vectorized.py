@@ -1,0 +1,153 @@
+"""Equivalence properties of the vectorized star-join execution path.
+
+``KGStore.execute`` keeps two implementations of every plan: the scalar
+per-row path (``vectorized=False``, the original implementation) and the
+columnar numpy path. The columnar path promises identical bindings —
+same dicts, same order — and identical :class:`QueryMetrics` counters on
+every layout and plan. These properties pin that promise on randomized
+stores: subjects with missing arms, non-RawPosition types, duplicate
+triples, extra predicates, and arbitrary spatio-temporal windows.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import BBox
+from repro.kgstore import KGStore, STConstraint, star
+from repro.rdf import A, VOC, IRI, Literal, Triple, var
+
+BOX = BBox(0.0, 0.0, 10.0, 10.0)
+T_EXTENT = 3600.0
+LAYOUTS = ("triples_table", "vertical_partitioning", "property_table")
+
+OTHER_TYPE = IRI("http://example.org/type/Other")
+EXTRA_PRED = IRI("http://example.org/p/extra")
+
+
+#: One subject: (lon, lat, t, is_raw_position, has_timestamp, has_wkt, extra).
+subject_specs = st.lists(
+    st.tuples(
+        st.floats(0.1, 9.9, allow_nan=False),
+        st.floats(0.1, 9.9, allow_nan=False),
+        st.floats(0.0, T_EXTENT, allow_nan=False),
+        st.booleans(),
+        st.booleans(),
+        st.booleans(),
+        st.none() | st.integers(0, 3),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+windows = st.none() | st.tuples(
+    st.floats(0.0, 5.0, allow_nan=False),
+    st.floats(0.0, 5.0, allow_nan=False),
+    st.floats(5.0, 10.0, allow_nan=False),
+    st.floats(5.0, 10.0, allow_nan=False),
+    st.floats(0.0, 1800.0, allow_nan=False),
+    st.floats(1800.0, T_EXTENT, allow_nan=False),
+).map(lambda w: STConstraint(BBox(w[0], w[1], w[2], w[3]), w[4], w[5]))
+
+
+def _triples(specs):
+    triples = []
+    for i, (lon, lat, t, is_raw, has_t, has_wkt, extra) in enumerate(specs):
+        node = IRI(f"http://example.org/node/{i}")
+        triples.append(Triple(node, A, VOC.RawPosition if is_raw else OTHER_TYPE))
+        if has_t:
+            triples.append(Triple(node, VOC.timestamp, Literal.of(float(t))))
+        if has_wkt:
+            triples.append(Triple(node, VOC.asWKT, Literal(f"POINT ({lon:.5f} {lat:.5f})")))
+        if extra is not None:
+            triples.append(Triple(node, EXTRA_PRED, Literal.of(extra)))
+    return triples
+
+
+def _store(specs, layout):
+    kg = KGStore(BOX, t_origin=0.0, t_extent_s=T_EXTENT, layout=layout,
+                 grid_cols=8, grid_rows=8, t_slots=6)
+    kg.load(_triples(specs))
+    return kg
+
+
+def _metrics_tuple(metrics):
+    return (metrics.join_rows, metrics.candidates, metrics.refined, metrics.results)
+
+
+def node_query(st_window=None):
+    return star(
+        "node",
+        (A, VOC.RawPosition),
+        (VOC.timestamp, var("t")),
+        (VOC.asWKT, var("wkt")),
+        st=st_window,
+    )
+
+
+class TestVectorizedEquivalence:
+    @pytest.mark.parametrize("layout", LAYOUTS)
+    @given(specs=subject_specs, window=windows, pushdown=st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_bindings_and_metrics_match(self, layout, specs, window, pushdown):
+        kg = _store(specs, layout)
+        query = node_query(window)
+        scalar_bindings, scalar_metrics = kg.execute(query, pushdown=pushdown, vectorized=False)
+        vector_bindings, vector_metrics = kg.execute(query, pushdown=pushdown, vectorized=True)
+        assert vector_bindings == scalar_bindings
+        assert _metrics_tuple(vector_metrics) == _metrics_tuple(scalar_metrics)
+
+    @pytest.mark.parametrize("layout", LAYOUTS)
+    @given(specs=subject_specs)
+    @settings(max_examples=20, deadline=None)
+    def test_extra_arm_and_fixed_object(self, layout, specs):
+        """A star with a sparse extra arm and an all-fixed-object variant."""
+        kg = _store(specs, layout)
+        sparse = star(
+            "node",
+            (A, VOC.RawPosition),
+            (VOC.timestamp, var("t")),
+            (EXTRA_PRED, var("x")),
+            st=STConstraint(BOX, 0.0, T_EXTENT),
+        )
+        fixed = star("node", (A, VOC.RawPosition), (EXTRA_PRED, Literal.of(1)))
+        for query in (sparse, fixed):
+            for pushdown in (True, False):
+                scalar = kg.execute(query, pushdown=pushdown, vectorized=False)
+                vector = kg.execute(query, pushdown=pushdown, vectorized=True)
+                assert vector[0] == scalar[0]
+                assert _metrics_tuple(vector[1]) == _metrics_tuple(scalar[1])
+
+    @pytest.mark.parametrize("layout", LAYOUTS)
+    def test_variable_conflict_binding_dropped(self, layout):
+        """The same variable bound to two different objects drops the row —
+        on both execution paths."""
+        node = IRI("http://example.org/node/0")
+        kg = KGStore(BOX, t_origin=0.0, t_extent_s=T_EXTENT, layout=layout,
+                     grid_cols=8, grid_rows=8, t_slots=6)
+        kg.load([
+            Triple(node, A, VOC.RawPosition),
+            Triple(node, VOC.timestamp, Literal.of(100.0)),
+            Triple(node, VOC.asWKT, Literal("POINT (5.0 5.0)")),
+        ])
+        conflicting = star("node", (VOC.timestamp, var("x")), (VOC.asWKT, var("x")))
+        scalar = kg.execute(conflicting, pushdown=False, vectorized=False)
+        vector = kg.execute(conflicting, pushdown=False, vectorized=True)
+        assert vector[0] == scalar[0] == []
+
+    @pytest.mark.parametrize("layout", LAYOUTS)
+    @given(specs=subject_specs, more=subject_specs)
+    @settings(max_examples=15, deadline=None)
+    def test_incremental_loads_stay_equivalent(self, layout, specs, more):
+        """A second load() batch (concat into the columnar buffers) keeps
+        both paths in agreement — including subjects overlapping batch 1."""
+        kg = _store(specs, layout)
+        kg.load(_triples(more))
+        query = node_query(STConstraint(BBox(2.0, 2.0, 8.0, 8.0), 0.0, T_EXTENT / 2))
+        for pushdown in (True, False):
+            scalar = kg.execute(query, pushdown=pushdown, vectorized=False)
+            vector = kg.execute(query, pushdown=pushdown, vectorized=True)
+            assert vector[0] == scalar[0]
+            assert _metrics_tuple(vector[1]) == _metrics_tuple(scalar[1])

@@ -20,10 +20,20 @@ snapshot: section (``counters`` | ``gauges`` | ``histograms``), the
 metric name, and — for histograms — a final field (``count``, ``sum``,
 ``mean``, ``min``, ``max``, ``p50``, ``p95``, ``p99``).
 
+The budget file's ``throughput`` section declares floors over
+``BENCH_throughput.json`` (written by ``benchmarks/bench_throughput.py``)::
+
+    {"throughput": [{"metric": "broker.speedup", "min": 2.0}]}
+
+``metric`` here is a dotted path into that JSON document. Throughput
+floors compare *ratios* of two runs on the same machine, so they are
+runner-independent — they are ENFORCED even under ``--warn-only``.
+
 Exit codes: 0 when every budget holds (missing benches/metrics only
 warn — a partial bench run must not fail the gate), 1 on any violation.
-``--warn-only`` reports violations but still exits 0, for first landings
-where the budget has no CI history yet.
+``--warn-only`` reports latency/counter budget violations but still
+exits 0, for budgets without CI history yet; throughput-floor
+violations fail regardless.
 """
 
 from __future__ import annotations
@@ -101,6 +111,38 @@ def check(results: dict, budget: dict) -> tuple[list[str], list[str]]:
     return violations, warnings
 
 
+def resolve_path(document: dict, path: str) -> float | None:
+    """Walk a dotted path through nested dicts; ``None`` when absent."""
+    node = document
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node if isinstance(node, (int, float)) else None
+
+
+def check_throughput(results: dict, budget: dict) -> tuple[list[str], list[str]]:
+    """Evaluate the throughput floors; returns (violations, warnings).
+
+    These violations are enforced regardless of ``--warn-only``.
+    """
+    violations: list[str] = []
+    warnings: list[str] = []
+    for entry in budget.get("throughput", []):
+        metric = entry["metric"]
+        label = f"throughput :: {metric}"
+        value = resolve_path(results, metric)
+        if value is None or (isinstance(value, float) and math.isnan(value)):
+            warnings.append(f"{label}: metric absent in throughput results")
+            continue
+        note = f" ({entry['note']})" if entry.get("note") else ""
+        if "max" in entry and value > entry["max"]:
+            violations.append(f"{label}: {value:g} exceeds floor max {entry['max']:g}{note}")
+        if "min" in entry and value < entry["min"]:
+            violations.append(f"{label}: {value:g} below floor min {entry['min']:g}{note}")
+    return violations, warnings
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -113,26 +155,54 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--warn-only", action="store_true",
-        help="report violations but exit 0 (for budgets without CI history)",
+        help="report latency/counter violations but exit 0 (for budgets "
+             "without CI history); throughput floors still fail the gate",
+    )
+    parser.add_argument(
+        "--throughput-results", type=Path, default=Path("BENCH_throughput.json"),
+        help="throughput results file (default: ./BENCH_throughput.json)",
     )
     args = parser.parse_args(argv)
 
-    if not args.results.exists():
-        print(f"perf-gate: results file {args.results} missing — nothing to check")
-        return 0
-    results = json.loads(args.results.read_text())
     budget = json.loads(args.budget.read_text())
 
-    violations, warnings = check(results, budget)
+    violations: list[str] = []
+    warnings: list[str] = []
+    n_checked = 0
+    if args.results.exists():
+        results = json.loads(args.results.read_text())
+        violations, warnings = check(results, budget)
+        n_checked = len(budget.get("budgets", []))
+    else:
+        print(f"perf-gate: results file {args.results} missing — skipping budgets")
+
+    hard_violations: list[str] = []
+    if budget.get("throughput"):
+        if args.throughput_results.exists():
+            throughput = json.loads(args.throughput_results.read_text())
+            hard_violations, t_warnings = check_throughput(throughput, budget)
+            warnings.extend(t_warnings)
+            n_checked += len(budget["throughput"])
+        else:
+            warnings.append(
+                f"throughput results file {args.throughput_results} missing — floors unchecked"
+            )
+    if not args.results.exists() and not args.throughput_results.exists():
+        print("perf-gate: no results files — nothing to check")
+        return 0
+
     for warning in warnings:
         print(f"perf-gate WARN  {warning}")
     for violation in violations:
         print(f"perf-gate FAIL  {violation}")
-    n_checked = len(budget.get("budgets", []))
+    for violation in hard_violations:
+        print(f"perf-gate FAIL  {violation} [enforced]")
     print(
-        f"perf-gate: {n_checked} budgets, {len(violations)} violations, "
-        f"{len(warnings)} warnings"
+        f"perf-gate: {n_checked} budgets, {len(violations) + len(hard_violations)} "
+        f"violations, {len(warnings)} warnings"
     )
+    if hard_violations:
+        return 1
     if violations and not args.warn_only:
         return 1
     if violations:
