@@ -1,0 +1,15 @@
+"""Built-in checkers. Importing this package registers all of them."""
+
+from .determinism import DeterminismChecker
+from .dual_path import DualPathChecker
+from .hygiene import HygieneChecker
+from .layering import LayeringChecker
+from .metrics_contract import MetricContractChecker
+
+__all__ = [
+    "DeterminismChecker",
+    "DualPathChecker",
+    "HygieneChecker",
+    "LayeringChecker",
+    "MetricContractChecker",
+]

@@ -1,0 +1,170 @@
+"""Dual-path parity: every fast path keeps — and tests — its scalar twin.
+
+PR 3 introduced columnar fast paths (``vectorized=`` star scans,
+``on_batch`` comprehension kernels) whose correctness story is an
+*equivalence oracle*: the scalar implementation is kept alive and a
+test drives both paths over the same input. That story quietly dies if
+someone deletes the scalar branch or the equivalence test; nothing else
+fails until results diverge in production. This checker makes the
+convention load-bearing:
+
+* a function with a ``vectorized=`` parameter must actually branch on
+  it (the scalar twin still exists) and must be named by at least one
+  test that exercises ``vectorized=False``;
+* an ``Operator`` subclass overriding ``on_batch`` must keep a scalar
+  ``on_record`` in the same class and be named by at least one test
+  that drives the batched path (``process_batch`` / ``on_batch``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..config import AnalysisConfig
+from ..model import Finding, Project, SourceFile
+from ..registry import Checker, register
+from ._util import base_names, walk_classes
+
+
+@register
+class DualPathChecker(Checker):
+    name = "dual-path"
+    description = (
+        "vectorized/batched fast paths must keep their scalar twin and "
+        "both must be exercised by a test"
+    )
+
+    def run(self, project: Project, config: AnalysisConfig) -> list[Finding]:
+        findings: list[Finding] = []
+        tests = project.realm("tests")
+        parents = self._class_parents(project)
+        for source in project.realm("src"):
+            if source.tree is None:
+                continue
+            findings.extend(self._vectorized_functions(source, tests))
+            findings.extend(self._batched_operators(source, tests, parents))
+        return findings
+
+    @staticmethod
+    def _class_parents(project: Project) -> dict[str, list[str]]:
+        parents: dict[str, list[str]] = {}
+        for src in project.realm("src"):
+            if src.tree is None:
+                continue
+            for cls in walk_classes(src.tree):
+                parents[cls.name] = base_names(cls)
+        return parents
+
+    # -- vectorized= fast paths --------------------------------------------------
+
+    def _vectorized_functions(self, source: SourceFile, tests: list[SourceFile]):
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            all_args = args.posonlyargs + args.args + args.kwonlyargs
+            if not any(a.arg == "vectorized" for a in all_args):
+                continue
+            owner = self._enclosing_class(source, node)
+            symbol = f"{owner}.{node.name}" if owner else node.name
+            anchor = owner or node.name
+            if not self._branches_on(node, "vectorized"):
+                yield self.finding(
+                    "error",
+                    source.relpath,
+                    node.lineno,
+                    node.col_offset,
+                    f"{symbol}() takes vectorized= but never branches on it — "
+                    f"the scalar twin (the equivalence oracle) is gone",
+                    symbol=f"{source.module}.{symbol}",
+                )
+                continue
+            exercised = any(
+                anchor in t.text and "vectorized=False" in t.text for t in tests
+            )
+            if not exercised:
+                yield self.finding(
+                    "error",
+                    source.relpath,
+                    node.lineno,
+                    node.col_offset,
+                    f"{symbol}() has a vectorized fast path but no test "
+                    f"references {anchor} with vectorized=False — the "
+                    f"scalar/vectorized equivalence is unverified",
+                    symbol=f"{source.module}.{symbol}",
+                )
+
+    @staticmethod
+    def _enclosing_class(source: SourceFile, fn: ast.AST) -> str:
+        for cls in walk_classes(source.tree):
+            if fn in ast.walk(cls):
+                return cls.name
+        return ""
+
+    @staticmethod
+    def _branches_on(fn: ast.AST, param: str) -> bool:
+        """Does any node under ``fn`` read ``param`` (outside its signature)?"""
+        return any(
+            isinstance(node, ast.Name) and node.id == param and isinstance(node.ctx, ast.Load)
+            for node in ast.walk(fn)
+        )
+
+    # -- batched operator kernels ------------------------------------------------
+
+    def _batched_operators(
+        self, source: SourceFile, tests: list[SourceFile], parents: dict[str, list[str]]
+    ):
+        for cls in walk_classes(source.tree):
+            if not self._is_operator(cls.name, base_names(cls), parents):
+                continue
+            methods = {
+                stmt.name
+                for stmt in cls.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if "on_batch" not in methods or cls.name == "Operator":
+                continue
+            if "on_record" not in methods:
+                yield self.finding(
+                    "error",
+                    source.relpath,
+                    cls.lineno,
+                    cls.col_offset,
+                    f"{cls.name} overrides on_batch without a scalar "
+                    f"on_record in the same class — the batched kernel has "
+                    f"no per-record twin to be checked against",
+                    symbol=f"{source.module}.{cls.name}",
+                )
+                continue
+            exercised = any(
+                cls.name in t.text
+                and ("process_batch" in t.text or "on_batch" in t.text)
+                for t in tests
+            )
+            if not exercised:
+                yield self.finding(
+                    "error",
+                    source.relpath,
+                    cls.lineno,
+                    cls.col_offset,
+                    f"{cls.name} has an on_batch kernel but no test drives "
+                    f"{cls.name} through process_batch — batched/scalar "
+                    f"equivalence is unverified",
+                    symbol=f"{source.module}.{cls.name}",
+                )
+
+    @staticmethod
+    def _is_operator(name: str, bases: list[str], parents: dict[str, list[str]]) -> bool:
+        if "Operator" in bases or name == "Operator":
+            return True
+        seen: set[str] = set()
+        frontier = list(bases)
+        while frontier:
+            base = frontier.pop()
+            if base == "Operator":
+                return True
+            if base in seen:
+                continue
+            seen.add(base)
+            frontier.extend(parents.get(base, ()))
+        return False

@@ -1,0 +1,173 @@
+"""API hygiene: defect patterns that corrupt state or hide failures.
+
+Three families, all grounded in bugs this codebase is structurally
+exposed to:
+
+* **mutable default arguments** — a shared list/dict/set default is
+  cross-call global state, the antithesis of replayable operators;
+* **bare / swallowed excepts** — ``except:`` catches ``KeyboardInterrupt``
+  and hides broker/operator failures; an ``except X: pass`` silently
+  drops data (when intentional, say why with a
+  ``# reprolint: disable=hygiene — reason`` pragma);
+* **Operator contract overrides** — subclasses of
+  :class:`repro.streams.operators.Operator` must override ``on_record`` /
+  ``on_batch`` / ``on_watermark``, never ``process`` / ``process_batch``
+  themselves: the base methods carry the probe accounting, stream stats
+  and watermark-run splitting that the exactly-once and batched/scalar
+  equivalence oracles assume. An override that skips them is invisible
+  to observability and unverifiable by the oracles.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..config import AnalysisConfig
+from ..model import Finding, Project
+from ..registry import Checker, register
+from ._util import base_names, walk_classes
+
+#: Operator entry points that subclasses must not re-implement.
+PROTECTED_OPERATOR_METHODS = ("process", "process_batch", "process_many", "_process_run")
+
+#: The extension points subclasses are supposed to use instead.
+OPERATOR_EXTENSION_POINTS = "on_record / on_batch / on_watermark / flush"
+
+_MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque"}
+
+
+@register
+class HygieneChecker(Checker):
+    name = "hygiene"
+    description = (
+        "mutable default arguments, bare/swallowed excepts, and Operator "
+        "subclasses overriding the instrumented process entry points"
+    )
+
+    def run(self, project: Project, config: AnalysisConfig) -> list[Finding]:
+        findings: list[Finding] = []
+        operator_subclasses = self._operator_subclasses(project)
+        for source in project.realm("src", "benchmarks", "examples"):
+            if source.tree is None:
+                continue
+            for node in ast.walk(source.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    findings.extend(self._mutable_defaults(source, node))
+                elif isinstance(node, ast.ExceptHandler):
+                    findings.extend(self._except_handler(source, node))
+            findings.extend(self._operator_overrides(source, operator_subclasses))
+        return findings
+
+    # -- mutable defaults --------------------------------------------------------
+
+    def _mutable_defaults(self, source, fn: ast.FunctionDef):
+        args = fn.args
+        positional = args.posonlyargs + args.args
+        defaults: list[tuple[ast.arg, ast.expr]] = list(
+            zip(positional[len(positional) - len(args.defaults):], args.defaults)
+        )
+        defaults.extend(
+            (a, d) for a, d in zip(args.kwonlyargs, args.kw_defaults) if d is not None
+        )
+        for arg, default in defaults:
+            if self._is_mutable(default):
+                yield self.finding(
+                    "error",
+                    source.relpath,
+                    default.lineno,
+                    default.col_offset,
+                    f"mutable default for parameter {arg.arg!r} in "
+                    f"{fn.name}() — the default is shared across calls; "
+                    f"use None and create it in the body",
+                    symbol=f"{source.module}.{fn.name}",
+                )
+
+    @staticmethod
+    def _is_mutable(expr: ast.expr) -> bool:
+        if isinstance(expr, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Call):
+            fn = expr.func
+            name = fn.id if isinstance(fn, ast.Name) else getattr(fn, "attr", "")
+            return name in _MUTABLE_CALLS
+        return False
+
+    # -- except handlers ---------------------------------------------------------
+
+    def _except_handler(self, source, handler: ast.ExceptHandler):
+        if handler.type is None:
+            yield self.finding(
+                "error",
+                source.relpath,
+                handler.lineno,
+                handler.col_offset,
+                "bare `except:` catches SystemExit/KeyboardInterrupt — name "
+                "the exceptions this site can actually handle",
+                symbol=source.module,
+            )
+            return
+        body = handler.body
+        only_pass = all(
+            isinstance(stmt, ast.Pass)
+            or (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant) and stmt.value.value is Ellipsis)
+            for stmt in body
+        )
+        if only_pass:
+            # Anchor at the swallowing statement itself, where an inline
+            # justification pragma naturally sits.
+            yield self.finding(
+                "error",
+                source.relpath,
+                body[0].lineno,
+                body[0].col_offset,
+                "swallowed exception (`except ...: pass`) hides failures — "
+                "handle it, log it, or justify it with a "
+                "`# reprolint: disable=hygiene` pragma",
+                symbol=source.module,
+            )
+
+    # -- Operator contract -------------------------------------------------------
+
+    @staticmethod
+    def _operator_subclasses(project: Project) -> set[str]:
+        """Names of classes that (transitively, by name) extend Operator."""
+        parents: dict[str, list[str]] = {}
+        for source in project.realm("src", "benchmarks", "examples"):
+            if source.tree is None:
+                continue
+            for cls in walk_classes(source.tree):
+                parents.setdefault(cls.name, []).extend(base_names(cls))
+        subclasses: set[str] = {"Operator"}
+        changed = True
+        while changed:
+            changed = False
+            for name, bases in parents.items():
+                if name not in subclasses and any(b in subclasses for b in bases):
+                    subclasses.add(name)
+                    changed = True
+        return subclasses
+
+    def _operator_overrides(self, source, operator_subclasses: set[str]):
+        if source.tree is None:
+            return
+        for cls in walk_classes(source.tree):
+            # The base class itself defines the contract; only subclasses
+            # are forbidden from re-implementing it.
+            if cls.name not in operator_subclasses or cls.name == "Operator":
+                continue
+            for stmt in cls.body:
+                if (
+                    isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and stmt.name in PROTECTED_OPERATOR_METHODS
+                ):
+                    yield self.finding(
+                        "error",
+                        source.relpath,
+                        stmt.lineno,
+                        stmt.col_offset,
+                        f"Operator subclass {cls.name} overrides "
+                        f"{stmt.name}() — that bypasses probe accounting and "
+                        f"batch/scalar parity; extend "
+                        f"{OPERATOR_EXTENSION_POINTS} instead",
+                        symbol=f"{source.module}.{cls.name}.{stmt.name}",
+                    )

@@ -1,0 +1,134 @@
+"""Architecture-DAG enforcement from ``tools/layering.toml``.
+
+The datAcron stack (EDBT 2018, Fig. 2) is layered: foundation packages
+(``geo``, ``streams``) sit under the domain components, ``obs`` watches
+the substrate without the substrate knowing (PR 2's invariant — streams
+must stay importable *without* obs), and only the integration layer
+(``core``) may wire everything together. That DAG is declared in
+``tools/layering.toml``; this checker verifies every runtime import
+against it and additionally reports any import cycle among the
+subpackages, whether or not the declaration would allow it.
+
+``if TYPE_CHECKING:`` imports are exempt — they never execute, and the
+codebase uses them deliberately to type obs instrumentation over
+streams objects without creating the runtime edge.
+"""
+
+from __future__ import annotations
+
+from ..config import AnalysisConfig
+from ..model import Finding, Project, SourceFile, module_imports
+from ..registry import Checker, register
+
+
+@register
+class LayeringChecker(Checker):
+    name = "layering"
+    description = "enforce the architecture DAG declared in tools/layering.toml"
+
+    def run(self, project: Project, config: AnalysisConfig) -> list[Finding]:
+        layering = config.layering
+        if layering is None:
+            return [
+                self.finding(
+                    "warning",
+                    "tools/layering.toml",
+                    0,
+                    0,
+                    "no layering.toml found — architecture DAG is unenforced",
+                )
+            ]
+        pkg = layering.package
+        findings: list[Finding] = []
+        observed: dict[str, set[str]] = {}
+        for source in project.realm("src"):
+            importer = self._subpackage(source, pkg)
+            for edge in module_imports(source):
+                parts = edge.module.split(".")
+                if parts[0] != pkg or len(parts) < 2:
+                    continue  # stdlib / third-party / facade self-import
+                imported = parts[1]
+                if imported == importer or edge.type_checking:
+                    continue
+                observed.setdefault(importer, set()).add(imported)
+                findings.extend(
+                    self._check_edge(layering, source, edge.line, edge.col, importer, imported)
+                )
+        findings.extend(self._cycles(project, observed))
+        return findings
+
+    @staticmethod
+    def _subpackage(source: SourceFile, pkg: str) -> str:
+        parts = source.module.split(".")
+        # repro/__init__.py (module == pkg) is the facade, declared under
+        # the package name itself.
+        return parts[1] if len(parts) > 1 else pkg
+
+    def _check_edge(self, layering, source, line, col, importer, imported):
+        forbidden = layering.forbid.get(importer, {})
+        if imported in forbidden:
+            yield self.finding(
+                "error",
+                source.relpath,
+                line,
+                col,
+                f"forbidden import: {importer} must not import {imported} — "
+                f"{forbidden[imported]}",
+                symbol=source.module,
+            )
+            return
+        if importer not in layering.allow:
+            yield self.finding(
+                "error",
+                source.relpath,
+                line,
+                col,
+                f"package {importer!r} is not declared in tools/layering.toml "
+                f"(add an [allow] entry for it)",
+                symbol=source.module,
+            )
+            return
+        if imported not in layering.allow[importer]:
+            allowed = ", ".join(sorted(layering.allow[importer])) or "nothing"
+            yield self.finding(
+                "error",
+                source.relpath,
+                line,
+                col,
+                f"layering violation: {importer} imports {imported}, but "
+                f"layering.toml only allows it to import: {allowed}",
+                symbol=source.module,
+            )
+
+    def _cycles(self, project: Project, observed: dict[str, set[str]]) -> list[Finding]:
+        """Report each import cycle among subpackages once."""
+        findings: list[Finding] = []
+        state: dict[str, int] = {}
+        reported: set[frozenset[str]] = set()
+
+        def visit(node: str, stack: list[str]) -> None:
+            state[node] = 1
+            for dep in sorted(observed.get(node, ())):
+                if state.get(dep) == 1:
+                    cycle = stack[stack.index(dep):] + [node] if dep in stack else [node, dep]
+                    key = frozenset(cycle)
+                    if key not in reported:
+                        reported.add(key)
+                        findings.append(
+                            self.finding(
+                                "error",
+                                "src",
+                                0,
+                                0,
+                                "import cycle between subpackages: "
+                                + " -> ".join(cycle + [cycle[0]]),
+                            )
+                        )
+                elif state.get(dep, 0) == 0:
+                    visit(dep, stack + [node])
+            state[node] = 2
+
+        for node in sorted(observed):
+            if state.get(node, 0) == 0:
+                visit(node, [])
+        return findings

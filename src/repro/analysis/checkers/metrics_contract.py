@@ -1,0 +1,344 @@
+"""Metric-contract linting: names, grammar, and dead-rule detection.
+
+Everything observability-shaped in this repo keys on *metric names*:
+the ``HealthMonitor`` default rules glob over gauges, the CI perf gate
+resolves ``tools/perf_budget.json`` paths into registry snapshots, and
+the dashboard parses the ``op.<name>.*`` family. None of that is
+checked anywhere — a typo'd name means a rule that never fires or a
+budget that silently stops gating. This checker closes the loop
+statically:
+
+* **extraction** — every ``counter("...")`` / ``gauge("...")`` /
+  ``histogram("...")`` / ``time("...")`` call in shipped code (src,
+  benchmarks, examples) is resolved to a name, with f-string holes
+  becoming ``*`` wildcards and ``OperatorProbe`` / ``instrument_*``
+  call sites expanded to the full ``op.<name>.*`` family they register;
+* **grammar** — extracted names must be lowercase dotted paths of at
+  least two segments whose root is a known namespace (``op``, ``kg``,
+  ``cep``, ``batch``, ...);
+* **dead health rules** — every glob passed to ``add_rule`` in src must
+  match at least one statically-registerable *gauge*;
+* **dead budgets** — every ``budgets[].metric`` key in
+  ``tools/perf_budget.json`` must resolve to an emitted metric of the
+  right kind with a valid histogram field, and every ``throughput[]``
+  path component must appear in ``bench_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+
+from ..config import AnalysisConfig
+from ..model import Finding, Project, SourceFile
+from ..registry import Checker, register
+from ._util import WILDCARD, call_keyword, dotted_name, loop_string_bindings, resolve_strings
+
+#: Namespace roots the dotted grammar admits (see DESIGN.md §observability).
+KNOWN_ROOTS = frozenset(
+    {
+        "op", "kg", "cep", "batch", "broker", "pipeline", "realtime",
+        "stage", "synopses", "linkdiscovery", "prediction", "dashboard",
+        "throughput",
+    }
+)
+
+#: Valid trailing fields of a histogram snapshot (mirrors tools/perf_gate.py).
+HISTOGRAM_FIELDS = ("count", "sum", "mean", "min", "max", "p50", "p95", "p99")
+
+_NAME_RE = re.compile(r"[a-z0-9_*]+(\.[a-z0-9_*]+)+")
+
+#: Registry accessor -> snapshot section.
+_ACCESSOR_KIND = {
+    "counter": "counters",
+    "gauge": "gauges",
+    "histogram": "histograms",
+    "time": "histograms",
+    "_time": "histograms",
+}
+
+#: The op.<name>.* family one OperatorProbe registers.
+_PROBE_FAMILY = (
+    ("counters", "records_in"),
+    ("counters", "records_out"),
+    ("counters", "batches"),
+    ("histograms", "latency_s"),
+)
+
+#: The additional gauges instrument_operator can register.
+_OPERATOR_GAUGES = ("queue_depth", "watermark_lag_s", "late_records")
+
+
+@dataclass(frozen=True)
+class Emission:
+    """One statically-extracted metric registration."""
+
+    kind: str      # "counters" | "gauges" | "histograms"
+    name: str      # dotted name; "*" marks a dynamic segment
+    path: str
+    line: int
+    col: int
+
+
+def could_match(reference: str, emitted: str) -> bool:
+    """Can the glob/name ``reference`` match the emitted name/pattern?
+
+    Both sides may contain ``*``. The heuristic substitutes a concrete
+    placeholder segment for the wildcards of one side and glob-matches
+    against the other, in both directions — exact for every pattern
+    shape this repo uses (wildcards standing for whole segments).
+    """
+    concrete_emitted = emitted.replace(WILDCARD, "x")
+    concrete_reference = reference.replace(WILDCARD, "x")
+    return fnmatchcase(concrete_emitted, reference) or fnmatchcase(
+        concrete_reference, emitted
+    )
+
+
+@register
+class MetricContractChecker(Checker):
+    name = "metric-contract"
+    description = (
+        "validate emitted metric names against the dotted-namespace "
+        "grammar and cross-check HealthMonitor rules and perf-budget "
+        "keys against them"
+    )
+
+    def run(self, project: Project, config: AnalysisConfig) -> list[Finding]:
+        findings: list[Finding] = []
+        emissions: list[Emission] = []
+        for source in project.realm("src", "benchmarks", "examples"):
+            if source.tree is None:
+                continue
+            emissions.extend(self._extract(source))
+        findings.extend(self._check_grammar(emissions))
+        findings.extend(self._check_health_rules(project, emissions))
+        findings.extend(self._check_budget(project, config, emissions))
+        return findings
+
+    # -- extraction --------------------------------------------------------------
+
+    def _extract(self, source: SourceFile) -> list[Emission]:
+        out: list[Emission] = []
+        bindings = loop_string_bindings(source.tree)
+
+        def emit(kind: str, names: list[str], node: ast.AST) -> None:
+            for name in names:
+                if name == WILDCARD:
+                    continue  # fully dynamic: that's the wrapper, not a call site
+                out.append(
+                    Emission(kind, name, source.relpath, node.lineno, node.col_offset)
+                )
+
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            attr = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else ""
+            )
+            if attr in _ACCESSOR_KIND and node.args:
+                emit(_ACCESSOR_KIND[attr], resolve_strings(node.args[0], bindings), node)
+            elif attr == "OperatorProbe" and len(node.args) >= 2:
+                for op_name in resolve_strings(node.args[1], bindings):
+                    self._emit_probe_family(emit, op_name, node)
+            elif attr == "instrument_operator":
+                name_arg = call_keyword(node, "name")
+                names = resolve_strings(name_arg, bindings) if name_arg is not None else [WILDCARD]
+                for op_name in names:
+                    self._emit_probe_family(emit, op_name, node)
+                    for gauge in _OPERATOR_GAUGES:
+                        emit("gauges", [f"op.{op_name}.{gauge}"], node)
+            elif attr == "instrument_pipeline":
+                prefix_arg = call_keyword(node, "prefix")
+                prefixes = (
+                    resolve_strings(prefix_arg, bindings) if prefix_arg is not None else [WILDCARD]
+                )
+                for prefix in prefixes:
+                    emit("gauges", [f"pipeline.{prefix}.records_s"], node)
+                    emit("gauges", [f"pipeline.{prefix}.records_processed"], node)
+                    self._emit_probe_family(emit, f"{prefix}.{WILDCARD}", node)
+                    for gauge in _OPERATOR_GAUGES:
+                        emit("gauges", [f"op.{prefix}.{WILDCARD}.{gauge}"], node)
+            elif attr == "instrument_broker":
+                for field in ("size", "published", "dropped"):
+                    emit("gauges", [f"broker.topic.{WILDCARD}.{field}"], node)
+            elif attr == "instrument_consumer":
+                emit("gauges", [f"broker.lag.{WILDCARD}.{WILDCARD}"], node)
+        return out
+
+    @staticmethod
+    def _emit_probe_family(emit, op_name: str, node: ast.AST) -> None:
+        for kind, field in _PROBE_FAMILY:
+            emit(kind, [f"op.{op_name}.{field}"], node)
+
+    # -- grammar -----------------------------------------------------------------
+
+    def _check_grammar(self, emissions: list[Emission]) -> list[Finding]:
+        findings = []
+        for em in emissions:
+            root = em.name.split(".", 1)[0]
+            if _NAME_RE.fullmatch(em.name) is None:
+                findings.append(
+                    self.finding(
+                        "error",
+                        em.path,
+                        em.line,
+                        em.col,
+                        f"metric name {em.name!r} violates the dotted-namespace "
+                        f"grammar (lowercase [a-z0-9_] segments joined by dots, "
+                        f"at least two segments)",
+                    )
+                )
+            elif root != WILDCARD and root not in KNOWN_ROOTS:
+                known = ", ".join(sorted(KNOWN_ROOTS))
+                findings.append(
+                    self.finding(
+                        "error",
+                        em.path,
+                        em.line,
+                        em.col,
+                        f"metric name {em.name!r} uses unknown namespace root "
+                        f"{root!r} (known roots: {known})",
+                    )
+                )
+        return findings
+
+    # -- dead health rules -------------------------------------------------------
+
+    def _check_health_rules(
+        self, project: Project, emissions: list[Emission]
+    ) -> list[Finding]:
+        gauges = [em.name for em in emissions if em.kind == "gauges"]
+        findings = []
+        for source in project.realm("src"):
+            if source.tree is None:
+                continue
+            for node in ast.walk(source.tree):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "add_rule"
+                    and len(node.args) >= 2
+                ):
+                    continue
+                for metric in resolve_strings(node.args[1]):
+                    if metric == WILDCARD:
+                        continue
+                    if not any(could_match(metric, g) for g in gauges):
+                        findings.append(
+                            self.finding(
+                                "error",
+                                source.relpath,
+                                node.lineno,
+                                node.col_offset,
+                                f"dead health rule: glob {metric!r} matches no "
+                                f"statically-registered gauge — the rule can "
+                                f"never fire",
+                                symbol=source.module,
+                            )
+                        )
+        return findings
+
+    # -- perf budget -------------------------------------------------------------
+
+    def _check_budget(
+        self, project: Project, config: AnalysisConfig, emissions: list[Emission]
+    ) -> list[Finding]:
+        budget_path = config.root / "tools" / "perf_budget.json"
+        if not budget_path.is_file():
+            return []
+        relpath = budget_path.relative_to(config.root).as_posix()
+        text = budget_path.read_text(encoding="utf-8")
+        try:
+            budget = json.loads(text)
+        except json.JSONDecodeError as exc:
+            return [
+                self.finding("error", relpath, exc.lineno, 0, f"budget file is not valid JSON: {exc.msg}")
+            ]
+        by_kind: dict[str, list[str]] = {"counters": [], "gauges": [], "histograms": []}
+        for em in emissions:
+            by_kind[em.kind].append(em.name)
+
+        def line_of(needle: str) -> int:
+            for lineno, line in enumerate(text.splitlines(), start=1):
+                if needle in line:
+                    return lineno
+            return 1
+
+        findings = []
+        for entry in budget.get("budgets", []):
+            metric = str(entry.get("metric", ""))
+            section, _, rest = metric.partition(".")
+            line = line_of(metric)
+            if section not in by_kind or not rest:
+                findings.append(
+                    self.finding(
+                        "error", relpath, line, 0,
+                        f"budget metric {metric!r} must start with one of "
+                        f"counters/gauges/histograms",
+                    )
+                )
+                continue
+            name = rest
+            if section == "histograms":
+                name, _, field = rest.rpartition(".")
+                if not name or field not in HISTOGRAM_FIELDS:
+                    findings.append(
+                        self.finding(
+                            "error", relpath, line, 0,
+                            f"budget metric {metric!r} must end in a histogram "
+                            f"field ({', '.join(HISTOGRAM_FIELDS)})",
+                        )
+                    )
+                    continue
+            if not any(could_match(name, em) for em in by_kind[section]):
+                findings.append(
+                    self.finding(
+                        "error", relpath, line, 0,
+                        f"stale budget key: {metric!r} matches no metric "
+                        f"statically emitted anywhere in src/benchmarks — "
+                        f"renamed or removed?",
+                    )
+                )
+        findings.extend(self._check_throughput_budget(project, budget, relpath, line_of))
+        return findings
+
+    def _check_throughput_budget(self, project, budget, relpath, line_of) -> list[Finding]:
+        entries = budget.get("throughput", [])
+        if not entries:
+            return []
+        bench = next(
+            (f for f in project.realm("benchmarks") if f.path.name == "bench_throughput.py"),
+            None,
+        )
+        if bench is None or bench.tree is None:
+            return [
+                self.finding(
+                    "warning", relpath, line_of("throughput"), 0,
+                    "budget has throughput floors but benchmarks/bench_throughput.py "
+                    "is missing — floors can never be satisfied",
+                )
+            ]
+        literals = {
+            node.value
+            for node in ast.walk(bench.tree)
+            if isinstance(node, ast.Constant) and isinstance(node.value, str)
+        }
+        findings = []
+        for entry in entries:
+            metric = str(entry.get("metric", ""))
+            missing = [part for part in metric.split(".") if part not in literals]
+            if missing:
+                findings.append(
+                    self.finding(
+                        "error", relpath, line_of(metric), 0,
+                        f"stale throughput key: path component(s) "
+                        f"{', '.join(repr(m) for m in missing)} of {metric!r} do not "
+                        f"appear in bench_throughput.py",
+                    )
+                )
+        return findings

@@ -1,0 +1,70 @@
+"""The pluggable checker registry.
+
+A checker is a named class with a ``run(project, config) -> findings``
+method. Registration is a decorator, so adding a checker is: write the
+class in :mod:`repro.analysis.checkers`, decorate it, import it from
+the subpackage ``__init__`` — the runner, the pragma parser, the CLI
+``--checks`` filter and ``--list-checks`` all pick it up from here.
+"""
+
+from __future__ import annotations
+
+from .config import AnalysisConfig
+from .model import Finding, Project
+
+_REGISTRY: dict[str, type["Checker"]] = {}
+
+
+class Checker:
+    """Base class for checkers: a name, a description, and ``run``."""
+
+    #: Unique kebab-case id — what pragmas and ``--checks`` refer to.
+    name = "checker"
+    #: One-line summary shown by ``--list-checks``.
+    description = ""
+
+    def run(self, project: Project, config: AnalysisConfig) -> list[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        severity: str,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+        symbol: str = "",
+    ) -> Finding:
+        return Finding(
+            check=self.name,
+            severity=severity,
+            path=path,
+            line=line,
+            col=col,
+            message=message,
+            symbol=symbol,
+        )
+
+
+def register(cls: type[Checker]) -> type[Checker]:
+    """Class decorator: add a checker to the global registry."""
+    if not cls.name or cls.name == Checker.name:
+        raise ValueError(f"checker {cls!r} must set a unique `name`")
+    existing = _REGISTRY.get(cls.name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"duplicate checker name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_checkers() -> dict[str, type[Checker]]:
+    """Registered checkers, keyed and sorted by name."""
+    return dict(sorted(_REGISTRY.items()))
+
+
+def get_checker(name: str) -> type[Checker]:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "none registered"
+        raise KeyError(f"unknown checker {name!r} (known: {known})") from None

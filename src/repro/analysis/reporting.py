@@ -1,0 +1,72 @@
+"""Reporters: human text for terminals, versioned JSON for CI artifacts.
+
+The JSON document is a stable schema (``version: 1``) so the CI job can
+upload it as an artifact and downstream tooling can diff runs without
+scraping terminal output. ``exit_code`` is embedded in the document:
+the report *is* the contract.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from .model import SEVERITIES
+
+if TYPE_CHECKING:
+    from .runner import AnalysisResult
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: "AnalysisResult", verbose: bool = False) -> str:
+    """One line per actionable finding, grouped summary at the end."""
+    lines: list[str] = []
+    for row in result.rows:
+        f = row.finding
+        if row.suppressed:
+            if verbose:
+                lines.append(f"{f.location()}: suppressed[{f.check}] {f.message}")
+            continue
+        tag = "baselined " if row.baselined else ""
+        lines.append(f"{f.location()}: {f.severity}[{f.check}] {tag}{f.message}")
+    for fp, meta in sorted(result.stale_baseline.items()):
+        lines.append(
+            f"{meta.get('path', '?')}: stale baseline entry {fp} "
+            f"[{meta.get('check', '?')}] no longer fires — delete it"
+        )
+    s = result.summary()
+    lines.append(
+        f"reprolint: {s['files']} files, {s['total']} findings "
+        f"({s['new']} new, {s['baselined']} baselined, {s['suppressed']} suppressed, "
+        f"{len(result.stale_baseline)} stale baseline entries)"
+    )
+    if s["new"] == 0:
+        lines.append("reprolint: OK")
+    else:
+        by_check = ", ".join(f"{k}={v}" for k, v in sorted(s["new_by_check"].items()))
+        lines.append(f"reprolint: FAIL ({by_check})")
+    return "\n".join(lines)
+
+
+def render_json(result: "AnalysisResult") -> str:
+    """The versioned machine-readable report (CI artifact)."""
+    findings = []
+    for row, fp in zip(result.rows, result.fingerprints):
+        entry = row.finding.to_dict()
+        entry["fingerprint"] = fp
+        entry["suppressed"] = row.suppressed
+        entry["baselined"] = row.baselined
+        findings.append(entry)
+    doc = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "reprolint",
+        "root": str(result.root),
+        "checks": result.checks,
+        "severities": list(SEVERITIES),
+        "findings": findings,
+        "stale_baseline": result.stale_baseline,
+        "summary": result.summary(),
+        "exit_code": result.exit_code(),
+    }
+    return json.dumps(doc, indent=2) + "\n"

@@ -1,0 +1,141 @@
+"""Orchestration: run checkers, apply pragmas and the baseline, exit codes.
+
+The exit-code contract (what CI keys on):
+
+* ``0`` — clean, or every finding is pragma-suppressed / baselined
+  (warnings and infos never fail the run);
+* ``1`` — at least one new ``error`` finding;
+* ``2`` — the analysis itself could not run (bad config, unknown
+  checker) — distinct from "violations found" so a CI failure is
+  unambiguous about whose fault it is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .baseline import Baseline, finding_fingerprints
+from .config import AnalysisConfig
+from .model import Finding, Project
+from .registry import all_checkers, get_checker
+
+EXIT_OK = 0
+EXIT_FINDINGS = 1
+EXIT_CONFIG_ERROR = 2
+
+
+@dataclass
+class FindingRow:
+    """A finding plus its suppression state after pragma/baseline filtering."""
+
+    finding: Finding
+    suppressed: bool = False   # an inline `# reprolint: disable=` pragma matched
+    baselined: bool = False    # its fingerprint is in the committed baseline
+
+    @property
+    def actionable(self) -> bool:
+        """Counts toward the exit code: a new, unsuppressed error."""
+        return (
+            not self.suppressed
+            and not self.baselined
+            and self.finding.severity == "error"
+        )
+
+
+@dataclass
+class AnalysisResult:
+    root: Path
+    checks: list[str]
+    rows: list[FindingRow]
+    fingerprints: list[str]
+    stale_baseline: dict[str, dict] = field(default_factory=dict)
+    n_files: int = 0
+
+    def new_findings(self) -> list[Finding]:
+        return [r.finding for r in self.rows if r.actionable]
+
+    def summary(self) -> dict:
+        new_by_check: dict[str, int] = {}
+        n_suppressed = n_baselined = 0
+        for row in self.rows:
+            if row.suppressed:
+                n_suppressed += 1
+            elif row.baselined:
+                n_baselined += 1
+            if row.actionable:
+                new_by_check[row.finding.check] = new_by_check.get(row.finding.check, 0) + 1
+        return {
+            "files": self.n_files,
+            "total": len(self.rows),
+            "new": sum(new_by_check.values()),
+            "suppressed": n_suppressed,
+            "baselined": n_baselined,
+            "stale_baseline": len(self.stale_baseline),
+            "new_by_check": new_by_check,
+        }
+
+    def exit_code(self) -> int:
+        return EXIT_FINDINGS if self.new_findings() else EXIT_OK
+
+
+def _apply_pragmas(findings: list[Finding], project: Project) -> list[FindingRow]:
+    rows = []
+    for f in findings:
+        source = project.file(f.path)
+        suppressed = False
+        if source is not None and f.line > 0:
+            disabled = source.suppressed_checks(f.line)
+            suppressed = "all" in disabled or f.check in disabled
+        rows.append(FindingRow(f, suppressed=suppressed))
+    return rows
+
+
+def run_analysis(
+    root: Path,
+    checks: list[str] | None = None,
+    baseline_path: Path | None = None,
+    update_baseline: bool = False,
+    package: str = "repro",
+) -> AnalysisResult:
+    """Run the selected checkers over the project at ``root``.
+
+    ``checks=None`` runs every registered checker. With
+    ``update_baseline`` the current findings are written to the baseline
+    file (which then makes the same run exit 0).
+    """
+    root = Path(root).resolve()
+    config = AnalysisConfig.load(root)
+    project = Project.discover(root, package=package)
+    selected = sorted(checks) if checks else sorted(all_checkers())
+    findings: list[Finding] = list(project.parse_failures())
+    for name in selected:
+        checker = get_checker(name)()
+        findings.extend(checker.run(project, config))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.check, f.message))
+
+    rows = _apply_pragmas(findings, project)
+    fingerprints = finding_fingerprints(findings, project)
+
+    bpath = baseline_path or root / "tools" / "reprolint_baseline.json"
+    if update_baseline:
+        live = [r.finding for r in rows if not r.suppressed and r.finding.severity == "error"]
+        live_fps = [fp for r, fp in zip(rows, fingerprints) if not r.suppressed and r.finding.severity == "error"]
+        Baseline.from_findings(live, live_fps).save(bpath)
+    baseline = Baseline.load(bpath)
+    live_fps = set()
+    for row, fp in zip(rows, fingerprints):
+        if row.suppressed:
+            continue
+        if fp in baseline:
+            row.baselined = True
+            live_fps.add(fp)
+
+    return AnalysisResult(
+        root=root,
+        checks=selected,
+        rows=rows,
+        fingerprints=fingerprints,
+        stale_baseline=baseline.stale(live_fps),
+        n_files=len(project.files),
+    )

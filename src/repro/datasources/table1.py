@@ -115,7 +115,7 @@ def measure_weather_obs(hours: float = 24.0, n_stations: int = 16, seed: int = 5
     """Run the station network and measure its observation rate."""
     network = WeatherStationNetwork(WeatherField(seed=seed), n_stations=n_stations)
     n, total_bytes = 0, 0
-    for obs in network.observations(0.0, hours * 3600.0):
+    for _obs in network.observations(0.0, hours * 3600.0):
         n += 1
         total_bytes += 72  # fixed-width synoptic record
     return SourceMeasurement("weather_obs", n, hours * 60.0, total_bytes)

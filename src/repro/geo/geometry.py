@@ -234,10 +234,7 @@ class Polygon:
         """
         if not _ring_contains(self.vertices, lon, lat):
             return False
-        for ring in self._holes:
-            if _ring_contains(ring, lon, lat):
-                return False
-        return True
+        return not any(_ring_contains(ring, lon, lat) for ring in self._holes)
 
     def area_deg2(self) -> float:
         """Signed shoelace area in square degrees (holes subtracted), absolute value."""
@@ -293,11 +290,11 @@ class Polygon:
             (corners[3], corners[2]),
             (corners[2], corners[0]),
         )
-        for e1 in self.edges():
-            for e2 in box_edges:
-                if segments_intersect(e1[0], e1[1], e2[0], e2[1]):
-                    return True
-        return False
+        return any(
+            segments_intersect(e1[0], e1[1], e2[0], e2[1])
+            for e1 in self.edges()
+            for e2 in box_edges
+        )
 
 
 def _ring_contains(ring: Sequence[tuple[float, float]], lon: float, lat: float) -> bool:

@@ -111,6 +111,9 @@ class KGStore:
                 try:
                     t_by_subject[tr.s] = float(tr.o.value)
                 except ValueError:
+                    # reprolint: disable=hygiene — a non-numeric timestamp
+                    # literal simply fails to anchor this subject; the triple
+                    # itself is still stored below.
                     pass
         anchors: dict[Term, STPosition] = {}
         for subject, wkt in wkt_by_subject.items():
@@ -238,7 +241,7 @@ class KGStore:
         # TriplesTable / VerticalPartitioning: cascade of hash semi-joins.
         rows = {}
         first = True
-        for i, (p_id, fixed) in enumerate(arms):
+        for p_id, fixed in arms:
             arm_hits: dict[int, int] = {}
             for part in self._layout.scan_predicate(p_id):
                 metrics.join_rows += len(part)

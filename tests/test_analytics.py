@@ -1,5 +1,7 @@
 """Tests for sequential pattern mining and mobility motifs."""
 
+from typing import ClassVar
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -15,7 +17,7 @@ from repro.synopses import CriticalPoint
 
 
 class TestPrefixSpan:
-    DB = [
+    DB: ClassVar[list[list[str]]] = [
         ["a", "b", "c"],
         ["a", "c"],
         ["a", "b", "c", "d"],

@@ -1,5 +1,7 @@
 """Tests for the RDF substrate: terms, graph, templates, connectors, rdfizers."""
 
+import json
+
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -207,7 +209,7 @@ class TestConnectors:
 
     def test_jsonl_strict_raises(self):
         c = JSONLinesConnector(["nope"], skip_malformed=False)
-        with pytest.raises(Exception):
+        with pytest.raises(json.JSONDecodeError):
             list(c)
 
 
