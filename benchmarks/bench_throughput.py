@@ -10,6 +10,13 @@ inputs and asserting the outputs match:
 * **pushdown** — the E5 star join with a spatio-temporal constraint on
   the scaled AIS corpus (~0.5M triples): ``KGStore.execute`` with the
   scalar scan (``vectorized=False``) vs the columnar scan.
+* **sharded** — a keyed windowing pipeline on the single-shard oracle
+  vs ``N_SHARDS`` key-partitioned replicas (``repro.streams.sharding``),
+  asserting the canonically merged outputs are identical. The gated
+  speedup is the *critical-path* ratio ``sum(shard walls) / max(shard
+  walls)`` — the factor an N-core schedule of these shards gains, which
+  is runner-independent (it measures routing balance, not how many
+  cores the CI box happens to have).
 
 Besides the usual ``BENCH_obs.json`` snapshot, this bench persists
 ``BENCH_throughput.json`` at the repo root — the input for the
@@ -34,7 +41,17 @@ from repro.kgstore import KGStore, STConstraint, star
 from repro.obs import MetricsRegistry
 from repro.rdf import A, VOC, var
 from repro.rdf.rdfizers import raw_fix_rdfizer, synopses_rdfizer
-from repro.streams import Broker, Record
+from repro.streams import (
+    Broker,
+    Map,
+    Pipeline,
+    Record,
+    ShardedPipeline,
+    TumblingWindow,
+    WatermarkAssigner,
+    mean_aggregate,
+    merge_shard_outputs,
+)
 from repro.synopses import SynopsesGenerator
 
 from _tables import format_table
@@ -221,3 +238,79 @@ def test_pushdown_scan_vectorized(store, console, benchmark, emit_metrics):
     assert speedup > 3.0, f"vectorized pushdown scan only {speedup:.2f}x faster"
     benchmark(lambda: kg.execute(query, pushdown=True, vectorized=True)[1].results)
     emit_metrics(registry, benchmark, title="kgstore scan throughput (columnar fast path)")
+
+
+# -- sharded substrate: single-shard oracle vs N keyed shards ----------------------
+
+N_SHARDS = 4
+SHARD_WINDOW_S = 60.0
+SHARD_OOO_S = 120.0
+
+
+def _shard_stage_pipeline() -> Pipeline:
+    """One replica of the bench workload: a map stage into keyed windows."""
+    return Pipeline(
+        [Map(lambda v: v * 2 + 1), TumblingWindow(SHARD_WINDOW_S, mean_aggregate)],
+        name="bench.sharded",
+    )
+
+
+def _shard_assigner() -> WatermarkAssigner:
+    return WatermarkAssigner(out_of_orderness_s=SHARD_OOO_S)
+
+
+def _canonical(records: list[Record]) -> list[tuple]:
+    return [(r.t, r.key, r.value) for r in records]
+
+
+def test_sharded_pipeline_throughput(console, benchmark, emit_metrics):
+    records = _make_records(N_RECORDS)
+    single_times: list[float] = []
+    speedups: list[float] = []
+    shard_walls: list[float] = []
+    for _ in range(3):
+        single = _shard_stage_pipeline()
+        out_base = single.run(records, watermarks=_shard_assigner(), flush=True)
+        single_times.append(single.wall_seconds)
+        sharded = ShardedPipeline(
+            _shard_stage_pipeline, N_SHARDS, watermark_factory=_shard_assigner
+        )
+        out_sharded = sharded.run_to_end(records)
+        # The N-shard merge must reproduce the single-shard oracle exactly.
+        assert _canonical(out_sharded) == _canonical(merge_shard_outputs([out_base]))
+        speedups.append(sharded.critical_path_speedup())
+        shard_walls = sharded.wall_seconds()
+    single_s = statistics.median(single_times)
+    speedup = statistics.median(speedups)
+    _RESULTS["sharded"] = {
+        "records": N_RECORDS,
+        "shards": N_SHARDS,
+        "keys": N_KEYS,
+        "single_wall_s": single_s,
+        "shard_walls_s": shard_walls,
+        "critical_path_s": max(shard_walls),
+        "speedup": speedup,
+    }
+    path = _persist()
+    registry = MetricsRegistry()
+    registry.gauge("throughput.sharded.single_records_s").set(N_RECORDS / single_s)
+    registry.gauge("throughput.sharded.critical_path_records_s").set(
+        N_RECORDS / max(shard_walls)
+    )
+    registry.gauge("throughput.sharded.speedup").set(speedup)
+    with console():
+        print(format_table(
+            f"Sharded windowing, {N_RECORDS:,} keyed records over {N_SHARDS} shards",
+            ["path", "wall", "records/s"],
+            [
+                ["single shard (oracle)", f"{single_s * 1e3:.0f} ms", f"{N_RECORDS / single_s:,.0f}"],
+                ["slowest of 4 shards", f"{max(shard_walls) * 1e3:.0f} ms", f"{N_RECORDS / max(shard_walls):,.0f}"],
+            ],
+            width=22,
+        ))
+        print(f"critical-path speedup: {speedup:.2f}x  -> {path.name}")
+    assert speedup > 2.0, f"sharded critical path only {speedup:.2f}x the aggregate"
+    benchmark(lambda: ShardedPipeline(
+        _shard_stage_pipeline, N_SHARDS, watermark_factory=_shard_assigner
+    ).run_to_end(records))
+    emit_metrics(registry, benchmark, title="sharded substrate (critical-path balance)")

@@ -13,7 +13,13 @@ convention load-bearing:
   test that exercises ``vectorized=False``;
 * an ``Operator`` subclass overriding ``on_batch`` must keep a scalar
   ``on_record`` in the same class and be named by at least one test
-  that drives the batched path (``process_batch`` / ``on_batch``).
+  that drives the batched path (``process_batch`` / ``on_batch``);
+* the same discipline for the sharded substrate's twins: a function
+  with a ``parallel=`` parameter must branch on it (the sequential
+  in-process twin still exists) and be named by a test exercising
+  ``parallel=False``, and anything taking ``n_shards`` must be named
+  by a test that also constructs the ``n_shards=1`` single-shard
+  oracle — the equivalence baseline sharded runs are checked against.
 """
 
 from __future__ import annotations
@@ -43,6 +49,7 @@ class DualPathChecker(Checker):
                 continue
             findings.extend(self._vectorized_functions(source, tests))
             findings.extend(self._batched_operators(source, tests, parents))
+            findings.extend(self._sharded_symbols(source, tests))
         return findings
 
     @staticmethod
@@ -93,6 +100,57 @@ class DualPathChecker(Checker):
                     f"scalar/vectorized equivalence is unverified",
                     symbol=f"{source.module}.{symbol}",
                 )
+
+    # -- sharded twins (parallel= runners, n_shards oracles) -----------------------
+
+    def _sharded_symbols(self, source: SourceFile, tests: list[SourceFile]):
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            arg_names = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+            owner = self._enclosing_class(source, node)
+            symbol = f"{owner}.{node.name}" if owner else node.name
+            anchor = owner or node.name
+            if "parallel" in arg_names:
+                if not self._branches_on(node, "parallel"):
+                    yield self.finding(
+                        "error",
+                        source.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        f"{symbol}() takes parallel= but never branches on it — "
+                        f"the sequential in-process twin (the determinism "
+                        f"oracle) is gone",
+                        symbol=f"{source.module}.{symbol}",
+                    )
+                elif not any(
+                    anchor in t.text and "parallel=False" in t.text for t in tests
+                ):
+                    yield self.finding(
+                        "error",
+                        source.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        f"{symbol}() has a process-parallel fast path but no "
+                        f"test references {anchor} with parallel=False — the "
+                        f"sequential/parallel equivalence is unverified",
+                        symbol=f"{source.module}.{symbol}",
+                    )
+            if "n_shards" in arg_names:
+                if not any(
+                    anchor in t.text and "n_shards=1" in t.text for t in tests
+                ):
+                    yield self.finding(
+                        "error",
+                        source.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        f"{symbol}() takes n_shards but no test references "
+                        f"{anchor} alongside the n_shards=1 single-shard "
+                        f"oracle — the shard-merge equivalence is unverified",
+                        symbol=f"{source.module}.{symbol}",
+                    )
 
     @staticmethod
     def _enclosing_class(source: SourceFile, fn: ast.AST) -> str:

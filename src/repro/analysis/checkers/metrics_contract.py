@@ -41,8 +41,8 @@ from ._util import WILDCARD, call_keyword, dotted_name, loop_string_bindings, re
 KNOWN_ROOTS = frozenset(
     {
         "op", "kg", "cep", "batch", "broker", "pipeline", "realtime",
-        "stage", "synopses", "linkdiscovery", "prediction", "dashboard",
-        "throughput",
+        "shard", "stage", "synopses", "linkdiscovery", "prediction",
+        "dashboard", "throughput",
     }
 )
 

@@ -10,6 +10,7 @@ from .config import (
     TOPIC_SYNOPSES,
 )
 from .realtime import RealtimeLayer, RealtimeReport
+from .sharded import ShardedRealtimeLayer
 from .system import DatacronSystem, SystemRun
 
 __all__ = [
@@ -18,6 +19,7 @@ __all__ = [
     "DatacronSystem",
     "RealtimeLayer",
     "RealtimeReport",
+    "ShardedRealtimeLayer",
     "SystemConfig",
     "SystemRun",
     "TOPIC_CLEAN",

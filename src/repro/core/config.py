@@ -31,6 +31,11 @@ class SystemConfig:
     proximity_time_s: float = 300.0
     grid_cell_deg: float = 0.5
     seed: int = 7
+    #: Shards of the sharded execution substrate: >= 2 partitions the fix
+    #: stream by entity across independent real-time replicas with
+    #: partition-local state (see repro.streams.sharding); 1 keeps the
+    #: single-shard path — the determinism/equivalence oracle.
+    n_shards: int = 1
     #: Trace every Nth clean fix end to end (0 disables lineage tracing).
     trace_sample_every: int = 256
     #: Broker publishes coalesce into batches of this size (the columnar

@@ -86,7 +86,12 @@ class RealtimeReport:
 class RealtimeLayer:
     """The wired streaming pipeline."""
 
-    def __init__(self, config: SystemConfig | None = None, cep_training_symbols: list[str] | None = None):
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        cep_training_symbols: list[str] | None = None,
+        enable_proximity: bool = True,
+    ):
         self.config = config or SystemConfig()
         cfg = self.config
         self.metrics = MetricsRegistry(seed=cfg.seed)
@@ -128,9 +133,17 @@ class RealtimeLayer:
             self.ports, cfg.bbox, threshold_m=cfg.near_port_threshold_m, cell_deg=cfg.grid_cell_deg,
             registry=self.metrics,
         )
-        self.proximity = MovingProximityDiscoverer(
-            cfg.bbox, cfg.proximity_space_m, cfg.proximity_time_s, cell_deg=cfg.grid_cell_deg,
-            registry=self.metrics,
+        # Proximity is the one cross-entity stage; a sharded deployment
+        # (repro.core.sharded) disables it per shard and runs it once over
+        # the merged stream — entity-partitioned replicas would silently
+        # miss every cross-shard pair.
+        self.proximity = (
+            MovingProximityDiscoverer(
+                cfg.bbox, cfg.proximity_space_m, cfg.proximity_time_s, cell_deg=cfg.grid_cell_deg,
+                registry=self.metrics,
+            )
+            if enable_proximity
+            else None
         )
         self.dashboard = Dashboard(cfg.bbox, registry=self.metrics, health=self.health)
         self.weather = WeatherField(bbox=cfg.bbox, seed=cfg.seed + 2)
@@ -282,9 +295,10 @@ class RealtimeLayer:
         links.extend(found)
         found, _ = self.port_links.links_for(cp.fix)
         links.extend(found)
-        prox = self.proximity.process(cp.fix)
-        report.proximity_links += len(prox)
-        links.extend(prox)
+        if self.proximity is not None:
+            prox = self.proximity.process(cp.fix)
+            report.proximity_links += len(prox)
+            links.extend(prox)
         self._probes["link_discovery"].observe(len(links), perf_counter() - t0)
         if child:
             self.tracer.finish(child)

@@ -1,0 +1,271 @@
+"""Sharded real-time layer: N entity-partitioned Figure-2 replicas.
+
+The multi-core deployment of :class:`~repro.core.realtime.RealtimeLayer`
+on the sharded execution substrate (``repro.streams.sharding``): the
+surveillance stream is partitioned by ``entity_id`` across
+``SystemConfig.n_shards`` full replicas, each owning partition-local
+state for every per-entity stage (cleaning, in-situ area events,
+synopses, region/port link discovery, weather enrichment). Stages whose
+state spans entities cannot be partitioned that way and run once, on the
+*merged* stream:
+
+* **proximity discovery** — pairs of entities may land on different
+  shards; per-shard discovery would silently miss every cross-shard pair;
+* **complex event recognition** — the Wayeb engine consumes one global
+  symbol sequence;
+* **the dashboard** — one situational picture over all entities.
+
+The merge is canonical: per-shard topic streams are combined with the
+substrate's ``(t, key)`` stable merge, so the merged stream — and
+therefore every global stage and the merged broker topics — is
+*identical* for ``n_shards=1`` and ``n_shards=N``. The single-shard run
+is the equivalence oracle, exactly as ``vectorized=False`` is for the
+columnar fast path; the shard-equivalence tests drive both.
+
+Observability: each shard's counters surface as ``shard.<i>.*`` gauges
+on the layer-wide registry, next to a ``shard.count`` and a
+``shard.balance`` gauge (slowest-shard share of the aggregate work —
+the routing-balance number the sharded throughput floor gates).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..cep import TURN_ALPHABET, WayebEngine, north_to_south_reversal, turn_event_stream
+from ..geo import PositionFix
+from ..insitu import QualityReport
+from ..linkdiscovery import MovingProximityDiscoverer
+from ..obs import (
+    EventLog,
+    HealthMonitor,
+    MetricsRegistry,
+    OperatorProbe,
+    consumer_lags,
+    default_realtime_rules,
+    instrument_broker,
+    operator_rates,
+    watch_broker,
+)
+from ..streams import Broker, Consumer, Record, merge_shard_outputs, shard_index
+from ..va import Dashboard
+
+from .config import (
+    SystemConfig,
+    TOPIC_CLEAN,
+    TOPIC_EVENTS,
+    TOPIC_LINKS,
+    TOPIC_RAW,
+    TOPIC_SYNOPSES,
+)
+from .realtime import RealtimeLayer, RealtimeReport
+
+_ALL_TOPICS = (TOPIC_RAW, TOPIC_CLEAN, TOPIC_SYNOPSES, TOPIC_LINKS, TOPIC_EVENTS)
+
+
+def _drain_all(consumer: Consumer) -> list[Record]:
+    """Everything a consumer group has not seen yet, in delivery order."""
+    out: list[Record] = []
+    while True:
+        batch = consumer.poll()
+        if not batch:
+            break
+        out.extend(batch)
+    return out
+
+
+class ShardedRealtimeLayer:
+    """Entity-sharded real-time layer with a merged global stage.
+
+    Drop-in for :class:`RealtimeLayer` where it matters downstream: after
+    :meth:`run`, :attr:`broker` holds the five Figure-2 topics with the
+    canonically merged streams (the batch layer consumes them unchanged),
+    :attr:`report` holds layer-wide counters, and :attr:`metrics` /
+    :meth:`system_metrics` expose the shard-annotated observability view.
+    """
+
+    def __init__(self, config: SystemConfig | None = None, cep_training_symbols: list[str] | None = None):
+        self.config = config or SystemConfig()
+        cfg = self.config
+        self.n_shards = max(1, cfg.n_shards)
+        self.metrics = MetricsRegistry(seed=cfg.seed)
+        self.events = EventLog(capacity=cfg.event_log_capacity)
+        # The merged broker: what the batch layer and the dashboard read.
+        self.broker = Broker()
+        for topic in _ALL_TOPICS:
+            self.broker.create_topic(topic, partitions=2)
+        instrument_broker(self.broker, self.metrics)
+        watch_broker(self.broker, self.events)
+        # Replicas own every per-entity stage; proximity is global (below).
+        self.shards = [
+            RealtimeLayer(cfg, enable_proximity=False) for _ in range(self.n_shards)
+        ]
+        self.proximity = MovingProximityDiscoverer(
+            cfg.bbox, cfg.proximity_space_m, cfg.proximity_time_s,
+            cell_deg=cfg.grid_cell_deg, registry=self.metrics,
+        )
+        self.cep: WayebEngine | None = None
+        if cep_training_symbols:
+            self.cep = WayebEngine(
+                north_to_south_reversal(), TURN_ALPHABET, order=1, threshold=0.5, horizon=60,
+                registry=self.metrics,
+            )
+            self.cep.train(cep_training_symbols)
+        self.metrics.gauge(
+            "realtime.error_rate",
+            fn=lambda: (
+                self.report.quality.dropped / self.report.raw_fixes
+                if self.report.raw_fixes
+                else 0.0
+            ),
+        )
+        self.health = default_realtime_rules(
+            HealthMonitor(self.metrics, event_log=self.events)
+        )
+        self.dashboard = Dashboard(cfg.bbox, registry=self.metrics, health=self.health)
+        # Global-stage probes report under op.* like every other hop.
+        self._probes = {
+            name: OperatorProbe(self.metrics, name)
+            for name in ("proximity", "cep")
+        }
+        for i, shard in enumerate(self.shards):
+            self._register_shard_gauges(i, shard)
+        self.metrics.gauge("shard.count", fn=lambda: float(self.n_shards))
+        self.metrics.gauge("shard.balance", fn=self.balance)
+        self.report = RealtimeReport()
+
+    def _register_shard_gauges(self, i: int, shard: RealtimeLayer) -> None:
+        base = f"shard.{i}"
+        self.metrics.gauge(f"{base}.raw_fixes", fn=lambda s=shard: float(s.report.raw_fixes))
+        self.metrics.gauge(f"{base}.clean_fixes", fn=lambda s=shard: float(s.report.clean_fixes))
+        self.metrics.gauge(f"{base}.critical_points", fn=lambda s=shard: float(s.report.critical_points))
+        self.metrics.gauge(f"{base}.links", fn=lambda s=shard: float(s.report.links))
+        self.metrics.gauge(f"{base}.wall_s", fn=lambda s=shard: s.metrics.gauge("realtime.wall_s").value())
+
+    def balance(self) -> float:
+        """Aggregate-over-slowest shard work ratio (ideal: ``n_shards``).
+
+        Work is measured in clean fixes routed to each shard — the
+        routing-balance counterpart of the bench's critical-path speedup.
+        """
+        counts = [s.report.clean_fixes for s in self.shards]
+        slowest = max(counts, default=0)
+        if slowest <= 0:
+            return 0.0
+        return sum(counts) / slowest
+
+    def shard_for(self, entity_id: str) -> int:
+        """Which shard an entity's whole trajectory lives on."""
+        return shard_index(entity_id, self.n_shards)
+
+    def run(self, fixes: Iterable[PositionFix]) -> RealtimeReport:
+        """Route, run every replica, then merge and run the global stages."""
+        from time import perf_counter
+
+        self.events.emit("info", "realtime", "sharded_run_started", shards=self.n_shards)
+        routed: list[list[PositionFix]] = [[] for _ in range(self.n_shards)]
+        for fix in fixes:
+            routed[self.shard_for(fix.entity_id)].append(fix)
+        for shard, sub_stream in zip(self.shards, routed):
+            shard.run(sub_stream)
+        merged = self._merge_topics()
+        report = self._merged_report()
+        # Dashboard over the merged picture.
+        for rec in merged[TOPIC_CLEAN]:
+            self.dashboard.ingest_fix(rec.value)
+        for rec in merged[TOPIC_SYNOPSES]:
+            self.dashboard.ingest_critical_point(rec.value)
+        # Global stage 1: cross-entity proximity over the merged synopses.
+        prox_probe = self._probes["proximity"]
+        for rec in merged[TOPIC_SYNOPSES]:
+            t0 = perf_counter()
+            links = self.proximity.process(rec.value.fix)
+            prox_probe.observe(len(links), perf_counter() - t0)
+            report.proximity_links += len(links)
+            report.links += len(links)
+            for link in links:
+                merged[TOPIC_LINKS].append(Record(link.t, link, key=link.source_id))
+        # Global stage 2: complex event recognition over the merged synopses.
+        if self.cep is not None:
+            cep_events = list(
+                turn_event_stream(rec.value for rec in merged[TOPIC_SYNOPSES])
+            )
+            if cep_events:
+                t0 = perf_counter()
+                run = self.cep.run(cep_events)
+                self._probes["cep"].observe(
+                    len(run.detections) + len(run.forecasts),
+                    perf_counter() - t0,
+                    n_in=len(cep_events),
+                )
+                report.cep_detections += len(run.detections)
+                report.cep_forecasts += len(run.forecasts)
+                for det in run.detections:
+                    merged[TOPIC_EVENTS].append(Record(det.t, det))
+                    self.dashboard.ingest_alert(det.t, "NorthToSouthReversal")
+                    self.events.emit(
+                        "warn", "cep", "detection", "NorthToSouthReversal",
+                        t=det.t, position=det.position,
+                    )
+        for topic, records in merged.items():
+            if records:
+                self.broker.publish_many(topic, records)
+        self.report = report
+        self.health.evaluate()
+        self.events.emit(
+            "info", "realtime", "sharded_run_finished",
+            shards=self.n_shards, raw=report.raw_fixes, clean=report.clean_fixes,
+            critical_points=report.critical_points,
+        )
+        return report
+
+    def _merge_topics(self) -> dict[str, list[Record]]:
+        """Canonically merge every shard topic: the ``(t, key)`` stable merge.
+
+        Reads through a dedicated consumer group, so repeated runs only
+        merge what the previous merge has not consumed.
+        """
+        merged: dict[str, list[Record]] = {}
+        for topic in _ALL_TOPICS:
+            per_shard = [
+                _drain_all(shard.broker.consumer(topic, "merge")) for shard in self.shards
+            ]
+            merged[topic] = merge_shard_outputs(per_shard)
+        return merged
+
+    def _merged_report(self) -> RealtimeReport:
+        """Layer-wide counters: per-entity stages summed across shards."""
+        report = RealtimeReport()
+        quality = QualityReport()
+        for shard in self.shards:
+            r = shard.report
+            report.raw_fixes += r.raw_fixes
+            report.clean_fixes += r.clean_fixes
+            report.critical_points += r.critical_points
+            report.area_events += r.area_events
+            report.links += r.links
+            quality.seen += r.quality.seen
+            quality.passed += r.quality.passed
+            for issue, count in r.quality.flagged.items():
+                quality.flagged[issue] = quality.flagged.get(issue, 0) + count
+        report.quality = quality
+        return report
+
+    def system_metrics(self) -> dict[str, Any]:
+        """The observability view: layer registry plus per-shard reports."""
+        self.health.evaluate()
+        snap = self.metrics.snapshot()
+        snap["operators"] = operator_rates(self.metrics)
+        snap["consumer_lag"] = consumer_lags(self.metrics)
+        snap["health"] = self.health.snapshot()
+        snap["events"] = self.events.snapshot()
+        snap["shards"] = [
+            {
+                "raw_fixes": s.report.raw_fixes,
+                "clean_fixes": s.report.clean_fixes,
+                "critical_points": s.report.critical_points,
+                "links": s.report.links,
+            }
+            for s in self.shards
+        ]
+        return snap

@@ -10,6 +10,15 @@ from .join import Enriched, TemporalLookupJoin
 from .operators import Filter, FlatMap, KeyBy, KeyedProcess, LatencyProbe, Map, Operator, Peek, Union
 from .pipeline import Pipeline, WatermarkAssigner, drain_consumer, merge_by_time, publish_all, records_from_values
 from .record import Record, StreamElement, StreamStats, Watermark
+from .sharding import (
+    ShardedBroker,
+    ShardedPipeline,
+    ShardRouter,
+    drain_sharded,
+    merge_shard_outputs,
+    run_sharded,
+    shard_index,
+)
 from .windows import SlidingWindow, TumblingWindow, WindowResult, count_aggregate, mean_aggregate
 
 __all__ = [
@@ -26,6 +35,9 @@ __all__ = [
     "Peek",
     "Pipeline",
     "Record",
+    "ShardRouter",
+    "ShardedBroker",
+    "ShardedPipeline",
     "SlidingWindow",
     "StreamElement",
     "StreamStats",
@@ -40,8 +52,12 @@ __all__ = [
     "WindowResult",
     "count_aggregate",
     "drain_consumer",
+    "drain_sharded",
     "mean_aggregate",
     "merge_by_time",
+    "merge_shard_outputs",
     "publish_all",
     "records_from_values",
+    "run_sharded",
+    "shard_index",
 ]

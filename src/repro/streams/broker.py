@@ -326,12 +326,18 @@ class TopicBatcher:
         return len(self._buffer)
 
     def flush(self) -> int:
-        """Publish everything buffered; returns the number published."""
+        """Publish everything buffered; returns the number published.
+
+        The buffer is detached *before* handing it to
+        :meth:`Topic.publish_many`: if the publish raises, a retried
+        ``flush`` must not double-publish records the topic may already
+        have appended. At-most-once is the batcher's contract — callers
+        that need redelivery re-add the batch deliberately.
+        """
         if not self._buffer:
             return 0
-        published = len(self.topic.publish_many(self._buffer))
-        self._buffer = []
-        return published
+        batch, self._buffer = self._buffer, []
+        return len(self.topic.publish_many(batch))
 
 
 def _time_ordered(records: list[Record]) -> bool:

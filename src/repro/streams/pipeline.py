@@ -14,6 +14,7 @@ bounded-out-of-orderness policy, mirroring Flink's
 from __future__ import annotations
 
 import heapq
+import math
 import time as _time
 from typing import Any, Iterable, Iterator, Sequence
 
@@ -47,6 +48,16 @@ class WatermarkAssigner:
         """A watermark past every record seen (closes all windows)."""
         t = self._max_t if self._max_t is not None else 0.0
         return Watermark(t + self.out_of_orderness_s + 1.0)
+
+    def current_watermark(self) -> float:
+        """Where event time currently stands: ``max_t - out_of_orderness``.
+
+        ``-inf`` before any record — the value a multi-input (or
+        multi-shard) merge must take the minimum over.
+        """
+        if self._max_t is None:
+            return -math.inf
+        return self._max_t - self.out_of_orderness_s
 
 
 class Pipeline:
@@ -105,6 +116,14 @@ class Pipeline:
         chunks of up to ``batch_size`` via :meth:`push_batch`. Outputs are
         element-for-element identical to the per-element path.
 
+        ``flush=False`` makes the run *incremental*: no stream-closing
+        watermark is injected and no operator state is flushed, so a later
+        run may continue the same stream. The assigner's
+        :meth:`~WatermarkAssigner.final_watermark` (which asserts the stream
+        is over) is pushed only on a flushing run — injecting it on every
+        call would silently drop in-bound records arriving in the next
+        increment as late.
+
         Wall-clock time is accumulated into :attr:`wall_seconds` so benches
         can report records/second throughput.
         """
@@ -132,9 +151,9 @@ class Pipeline:
         if pending:
             self.records_processed += sum(1 for w in pending if isinstance(w, Record))
             out.extend(r for r in self.push_batch(pending) if isinstance(r, Record))
-        if watermarks is not None:
-            out.extend(r for r in self.push(watermarks.final_watermark()) if isinstance(r, Record))
         if flush:
+            if watermarks is not None:
+                out.extend(r for r in self.push(watermarks.final_watermark()) if isinstance(r, Record))
             out.extend(self.flush())
         self.wall_seconds += _time.perf_counter() - start
         return out
@@ -173,6 +192,11 @@ def merge_by_time(*streams: Iterable[Record]) -> Iterator[Record]:
     This is the fan-in primitive: cross-stream processing (e.g. joining
     surveillance with weather updates) merges sources into one
     time-ordered stream before the operator chain.
+
+    Equal timestamps are stable: ties go to the lower-numbered stream,
+    and each stream's own order is preserved (only one entry per stream
+    is ever in the heap, so ``(t, idx)`` totally orders the heap and the
+    record itself is never compared).
     """
     entries = []
     for idx, s in enumerate(streams):
@@ -183,7 +207,6 @@ def merge_by_time(*streams: Iterable[Record]) -> Iterator[Record]:
             continue
         entries.append((first.t, idx, first, it))
     heapq.heapify(entries)
-    counter = len(entries)
     while entries:
         t, idx, rec, it = heapq.heappop(entries)
         yield rec
@@ -191,7 +214,6 @@ def merge_by_time(*streams: Iterable[Record]) -> Iterator[Record]:
             nxt = next(it)
         except StopIteration:
             continue
-        counter += 1
         heapq.heappush(entries, (nxt.t, idx, nxt, it))
 
 
@@ -203,6 +225,11 @@ def drain_consumer(
 ) -> list[Record]:
     """Poll a broker consumer to exhaustion through a pipeline.
 
+    Each poll is an *incremental* (``flush=False``) run, so records
+    arriving in a later poll within the out-of-orderness bound are still
+    in time — the stream-closing final watermark is pushed exactly once,
+    after the poll loop, followed by the operator flush.
+
     ``batch_size`` selects the pipeline's batched fast path for each poll.
     """
     out: list[Record] = []
@@ -211,6 +238,8 @@ def drain_consumer(
         if not batch:
             break
         out.extend(pipeline.run(batch, watermarks=watermarks, flush=False, batch_size=batch_size))
+    if watermarks is not None:
+        out.extend(r for r in pipeline.push(watermarks.final_watermark()) if isinstance(r, Record))
     out.extend(pipeline.flush())
     return out
 

@@ -124,6 +124,11 @@ class SlidingWindow(Operator):
     only considered late) once the watermark passes window end *plus* the
     allowance — so the two window types drop identical records on the
     same stream.
+
+    ``offset_s`` shifts window-start alignment exactly as in
+    :class:`TumblingWindow`: starts fall on multiples of ``slide_s`` plus
+    the offset, so with ``slide_s == size_s`` a sliding window is
+    element-for-element the tumbling window with the same offset.
     """
 
     name = "sliding_window"
@@ -133,6 +138,7 @@ class SlidingWindow(Operator):
         size_s: float,
         slide_s: float,
         aggregate: Callable[[list[Any]], Any],
+        offset_s: float = 0.0,
         allowed_lateness_s: float = 0.0,
     ):
         super().__init__()
@@ -143,6 +149,7 @@ class SlidingWindow(Operator):
         self.size_s = size_s
         self.slide_s = slide_s
         self.aggregate = aggregate
+        self.offset_s = offset_s
         self.allowed_lateness_s = allowed_lateness_s
         self._buffers: dict[tuple[str | None, float], list[Any]] = {}
         self._watermark = -math.inf
@@ -161,7 +168,7 @@ class SlidingWindow(Operator):
 
     def _starts_for(self, t: float) -> Iterable[float]:
         """All window starts whose [start, start+size) contains t."""
-        last_start = math.floor(t / self.slide_s) * self.slide_s
+        last_start = math.floor((t - self.offset_s) / self.slide_s) * self.slide_s + self.offset_s
         start = last_start
         while start > t - self.size_s:
             yield start

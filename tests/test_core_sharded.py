@@ -1,0 +1,139 @@
+"""Tests for the sharded real-time layer (repro.core.sharded).
+
+The oracle contract: ``ShardedRealtimeLayer`` with ``SystemConfig(n_shards=1)``
+is the single-shard baseline, and every ``n_shards >= 2`` run must produce
+byte-identical merged topic streams — the canonical ``(t, key)`` merge makes
+that hold by construction, and these tests make it load-bearing.
+"""
+
+import pytest
+
+from repro.core import (
+    RealtimeLayer,
+    ShardedRealtimeLayer,
+    SystemConfig,
+    TOPIC_CLEAN,
+    TOPIC_EVENTS,
+    TOPIC_LINKS,
+    TOPIC_RAW,
+    TOPIC_SYNOPSES,
+)
+from repro.datasources import AISSimulator
+
+ALL_TOPICS = (TOPIC_RAW, TOPIC_CLEAN, TOPIC_SYNOPSES, TOPIC_LINKS, TOPIC_EVENTS)
+
+
+@pytest.fixture(scope="module")
+def fixes():
+    return list(AISSimulator(n_vessels=10, seed=5).fixes(900.0))
+
+
+def topic_streams(layer):
+    out = {}
+    for name in ALL_TOPICS:
+        consumer = layer.broker.consumer(name, "test-dump")
+        records = []
+        while True:
+            batch = consumer.poll()
+            if not batch:
+                break
+            records.extend(batch)
+        out[name] = [(r.t, r.key, type(r.value).__name__) for r in records]
+    return out
+
+
+class TestShardEquivalence:
+    def test_n_shards_2_matches_single_shard_oracle(self, fixes):
+        oracle = ShardedRealtimeLayer(SystemConfig(n_shards=1))
+        sharded = ShardedRealtimeLayer(SystemConfig(n_shards=2))
+        r1 = oracle.run(list(fixes))
+        r2 = sharded.run(list(fixes))
+        assert r2 == r1
+        assert topic_streams(sharded) == topic_streams(oracle)
+
+    def test_n_shards_4_matches_single_shard_oracle(self, fixes):
+        oracle = ShardedRealtimeLayer(SystemConfig(n_shards=1))
+        sharded = ShardedRealtimeLayer(SystemConfig(n_shards=4))
+        assert sharded.run(list(fixes)) == oracle.run(list(fixes))
+        assert topic_streams(sharded) == topic_streams(oracle)
+
+    def test_per_entity_counters_match_plain_layer(self, fixes):
+        """Every per-entity stage (cleaning, synopses, area events, region/
+        port links) is key-local, so the sharded totals must equal the plain
+        unsharded layer's."""
+        plain = RealtimeLayer(SystemConfig())
+        sharded = ShardedRealtimeLayer(SystemConfig(n_shards=3))
+        rp = plain.run(list(fixes))
+        rs = sharded.run(list(fixes))
+        assert rs.raw_fixes == rp.raw_fixes
+        assert rs.clean_fixes == rp.clean_fixes
+        assert rs.critical_points == rp.critical_points
+        assert rs.area_events == rp.area_events
+        assert rs.quality == rp.quality
+
+    def test_entity_routing_is_sticky(self, fixes):
+        sharded = ShardedRealtimeLayer(SystemConfig(n_shards=3))
+        sharded.run(list(fixes))
+        for fix in fixes:
+            shard = sharded.shard_for(fix.entity_id)
+            assert shard == sharded.shard_for(fix.entity_id)
+        # Every raw fix landed on the shard its entity hashes to.
+        per_shard_raw = [s.report.raw_fixes for s in sharded.shards]
+        assert sum(per_shard_raw) == len(fixes)
+
+    def test_global_proximity_sees_cross_shard_pairs(self, fixes):
+        """Proximity runs once over the merged stream, so link counts are
+        shard-count invariant — per-shard discovery would miss every
+        cross-shard pair."""
+        cfg = dict(proximity_space_m=500_000.0, proximity_time_s=3600.0)
+        oracle = ShardedRealtimeLayer(SystemConfig(n_shards=1, **cfg))
+        sharded = ShardedRealtimeLayer(SystemConfig(n_shards=4, **cfg))
+        r1 = oracle.run(list(fixes))
+        r4 = sharded.run(list(fixes))
+        assert r1.proximity_links > 0  # the loose threshold must actually fire
+        assert r4.proximity_links == r1.proximity_links
+        assert r4.links == r1.links
+
+
+class TestShardObservability:
+    def test_shard_gauges_registered(self, fixes):
+        sharded = ShardedRealtimeLayer(SystemConfig(n_shards=3))
+        sharded.run(list(fixes))
+        gauges = sharded.metrics.gauges("shard.")
+        for i in range(3):
+            for leaf in ("raw_fixes", "clean_fixes", "critical_points", "links", "wall_s"):
+                assert f"shard.{i}.{leaf}" in gauges
+        assert gauges["shard.count"] == 3.0
+        assert sum(gauges[f"shard.{i}.raw_fixes"] for i in range(3)) == len(fixes)
+
+    def test_balance_gauge_tracks_routing(self, fixes):
+        sharded = ShardedRealtimeLayer(SystemConfig(n_shards=3))
+        assert sharded.balance() == 0.0  # nothing routed yet
+        sharded.run(list(fixes))
+        assert 1.0 <= sharded.balance() <= 3.0
+        assert sharded.metrics.gauges("shard.")["shard.balance"] == sharded.balance()
+
+    def test_system_metrics_includes_per_shard_view(self, fixes):
+        sharded = ShardedRealtimeLayer(SystemConfig(n_shards=2))
+        sharded.run(list(fixes))
+        snap = sharded.system_metrics()
+        assert len(snap["shards"]) == 2
+        assert {"health", "events", "operators"} <= snap.keys()
+        assert sum(s["raw_fixes"] for s in snap["shards"]) == len(fixes)
+
+    def test_run_events_emitted(self, fixes):
+        sharded = ShardedRealtimeLayer(SystemConfig(n_shards=2))
+        sharded.run(list(fixes))
+        kinds = [e.kind for e in sharded.events.events(component="realtime")]
+        assert "sharded_run_started" in kinds and "sharded_run_finished" in kinds
+
+
+class TestPlainLayerProximityKnob:
+    def test_disabled_proximity_reports_no_proximity_links(self, fixes):
+        layer = RealtimeLayer(
+            SystemConfig(proximity_space_m=500_000.0, proximity_time_s=3600.0),
+            enable_proximity=False,
+        )
+        report = layer.run(list(fixes))
+        assert layer.proximity is None
+        assert report.proximity_links == 0

@@ -145,6 +145,47 @@ class TestSlidingWindow:
         # Still lands in both of its windows, [0,20) and [10,30).
         assert len(out) == 2
 
+    def test_offset_shifts_window_boundaries(self):
+        w = SlidingWindow(20.0, 10.0, count_aggregate, offset_s=3.0)
+        w.process(Record(15.0, "a", "k"))
+        out = [r for r in w.process(Watermark(100.0)) if isinstance(r, Record)]
+        # Starts align to 3 mod 10: t=15 is in [3,23) and [13,33).
+        assert sorted((r.value.start, r.value.end) for r in out) == [(3.0, 23.0), (13.0, 33.0)]
+
+    def test_offset_equivalent_to_per_start_tumbling(self):
+        """A sliding window with offset o is the union of size/slide tumbling
+        windows phased at o, o+slide, ... — the defining decomposition."""
+        elements = [
+            Record(4.0, "a", "k"), Record(15.0, "b", "k"), Record(22.0, "c", "k"),
+            Record(17.0, "d", "q"), Watermark(200.0),
+        ]
+
+        def results(window):
+            out = []
+            for el in elements:
+                out.extend(r for r in window.process(el) if isinstance(r, Record))
+            return sorted((r.value.start, r.value.end, r.key, r.value.value) for r in out)
+
+        sliding = results(SlidingWindow(20.0, 10.0, count_aggregate, offset_s=3.0))
+        phased = sorted(
+            results(TumblingWindow(20.0, count_aggregate, offset_s=3.0))
+            + results(TumblingWindow(20.0, count_aggregate, offset_s=13.0))
+        )
+        assert sliding == phased
+
+    def test_slide_equals_size_matches_tumbling_with_offset(self):
+        elements = [Record(t, t, "k") for t in (1.0, 4.5, 9.0, 13.0)] + [Watermark(50.0)]
+
+        def results(window):
+            out = []
+            for el in elements:
+                out.extend(r for r in window.process(el) if isinstance(r, Record))
+            return [(r.t, r.value.start, r.value.end, r.value.value) for r in out]
+
+        assert results(SlidingWindow(10.0, 10.0, mean_aggregate, offset_s=4.0)) == results(
+            TumblingWindow(10.0, mean_aggregate, offset_s=4.0)
+        )
+
 
 class TestWindowLatenessParity:
     """SlidingWindow and TumblingWindow must drop identical records on the
@@ -190,6 +231,30 @@ class TestWindowLatenessParity:
         assert lenient == [2, 2]   # t=8 admitted by both
         assert strict_t.late_records == strict_s.late_records == 2
         assert lenient_t.late_records == lenient_s.late_records == 1
+
+    def test_parity_holds_across_poll_boundaries(self):
+        """The contract must survive incremental (flush=False) runs: records
+        arriving in a later poll inside the lateness allowance are admitted
+        — or dropped — identically by both window types, offsets included."""
+
+        def run_incremental(window):
+            pipeline = Pipeline([window])
+            assigner = WatermarkAssigner(out_of_orderness_s=3.0, period_s=1.0)
+            out = pipeline.run(
+                recs((4.0, "a"), (14.0, "b"), key="k"), watermarks=assigner, flush=False
+            )
+            # Poll 2: t=12 is in bound (wm 11), t=5 is late but allowed.
+            out.extend(pipeline.run(
+                recs((12.0, "c"), (5.0, "d"), key="k"), watermarks=assigner, flush=False
+            ))
+            out.extend(r for r in pipeline.push(assigner.final_watermark()) if isinstance(r, Record))
+            out.extend(pipeline.flush())
+            return [(r.t, r.value.start, r.value.end, r.value.value) for r in out]
+
+        tumbling = TumblingWindow(10.0, count_aggregate, offset_s=2.0, allowed_lateness_s=4.0)
+        sliding = SlidingWindow(10.0, 10.0, count_aggregate, offset_s=2.0, allowed_lateness_s=4.0)
+        assert run_incremental(tumbling) == run_incremental(sliding)
+        assert tumbling.late_records == sliding.late_records
 
 
 class TestPipeline:

@@ -1,0 +1,256 @@
+"""Tests for the sharded execution substrate (repro.streams.sharding).
+
+The correctness story is the single-shard oracle: every sharded run is
+checked against ``n_shards=1`` (which is the unsharded pipeline by
+construction) and, for keyed workloads, against a plain
+:class:`Pipeline` run on the same elements.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams import (
+    Map,
+    Pipeline,
+    Record,
+    ShardRouter,
+    ShardedBroker,
+    ShardedPipeline,
+    TumblingWindow,
+    Watermark,
+    WatermarkAssigner,
+    count_aggregate,
+    drain_sharded,
+    merge_shard_outputs,
+    run_sharded,
+    shard_index,
+)
+
+
+def keyed_records(n, n_keys=7, dt=1.0):
+    return [Record(i * dt, i, key=f"vessel-{i % n_keys}") for i in range(n)]
+
+
+def window_pipeline() -> Pipeline:
+    return Pipeline([TumblingWindow(10.0, count_aggregate)])
+
+
+def map_pipeline() -> Pipeline:
+    return Pipeline([Map(lambda v: v + 1)])
+
+
+def assigner() -> WatermarkAssigner:
+    return WatermarkAssigner(out_of_orderness_s=5.0)
+
+
+def canonical(records):
+    """Output lists compared order-sensitively on the canonical fields."""
+    return [(r.t, r.key, r.value) for r in records]
+
+
+class TestShardRouter:
+    def test_keyed_records_are_sticky(self):
+        router = ShardRouter(4)
+        shards = {router.shard_for(Record(float(i), i, key="vessel-3")) for i in range(10)}
+        assert len(shards) == 1
+        assert shards == {shard_index("vessel-3", 4)}
+
+    def test_keyless_round_robin(self):
+        router = ShardRouter(3)
+        assert [router.shard_for(Record(float(i), i)) for i in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_watermarks_broadcast(self):
+        routed = ShardRouter(3).route([Record(0.0, "a", key="k"), Watermark(5.0)])
+        assert all(Watermark(5.0) in shard for shard in routed)
+        assert sum(isinstance(el, Record) for shard in routed for el in shard) == 1
+
+    def test_route_preserves_per_key_order(self):
+        records = keyed_records(50)
+        routed = ShardRouter(4).route(records)
+        for shard in routed:
+            for key in {r.key for r in shard}:
+                sub = [r.value for r in shard if r.key == key]
+                assert sub == sorted(sub)
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+
+
+class TestMergeShardOutputs:
+    def test_orders_by_time_then_key(self):
+        merged = merge_shard_outputs([
+            [Record(2.0, "b", key="x")],
+            [Record(1.0, "a", key="z"), Record(2.0, "c", key="a")],
+        ])
+        assert canonical(merged) == [(1.0, "z", "a"), (2.0, "a", "c"), (2.0, "x", "b")]
+
+    def test_stable_within_equal_t_key(self):
+        first = Record(1.0, "first", key="k")
+        second = Record(1.0, "second", key="k")
+        merged = merge_shard_outputs([[first, second]])
+        assert [r.value for r in merged] == ["first", "second"]
+
+
+class TestShardedBroker:
+    def test_topic_exists_on_every_shard(self):
+        broker = ShardedBroker(3)
+        broker.create_topic("raw", partitions=2)
+        assert len(broker.topics_named("raw")) == 3
+
+    def test_keyed_publish_routes_by_hash(self):
+        broker = ShardedBroker(4)
+        broker.create_topic("raw")
+        shard = broker.publish("raw", Record(0.0, "a", key="vessel-1"))
+        assert shard == shard_index("vessel-1", 4)
+        assert broker.size("raw") == 1
+
+    def test_publish_many_matches_per_record_routing(self):
+        records = keyed_records(40)
+        one = ShardedBroker(3)
+        one.create_topic("raw")
+        for r in records:
+            one.publish("raw", r)
+        many = ShardedBroker(3)
+        many.create_topic("raw")
+        counts = many.publish_many("raw", records)
+        assert sum(counts) == len(records)
+        for shard_one, shard_many in zip(one.shards, many.shards):
+            assert shard_one.topic("raw").size() == shard_many.topic("raw").size()
+
+    def test_consumers_one_per_shard(self):
+        broker = ShardedBroker(2)
+        broker.create_topic("raw")
+        broker.publish_many("raw", keyed_records(10))
+        consumers = broker.consumers("raw", "g")
+        drained = [r for c in consumers for r in c.poll()]
+        assert len(drained) == 10
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            ShardedBroker(0)
+
+
+class TestShardedPipeline:
+    def test_matches_single_shard_oracle(self):
+        records = keyed_records(200)
+        oracle = ShardedPipeline(window_pipeline, 1, watermark_factory=assigner)
+        sharded = ShardedPipeline(window_pipeline, 4, watermark_factory=assigner)
+        assert canonical(sharded.run_to_end(records)) == canonical(oracle.run_to_end(records))
+
+    def test_matches_plain_pipeline(self):
+        records = keyed_records(200)
+        plain = window_pipeline().run(records, watermarks=assigner(), flush=True)
+        sharded = ShardedPipeline(window_pipeline, 3, watermark_factory=assigner)
+        assert canonical(sharded.run_to_end(records)) == canonical(merge_shard_outputs([plain]))
+
+    def test_incremental_runs_then_finish(self):
+        records = keyed_records(100)
+        sharded = ShardedPipeline(window_pipeline, 3, watermark_factory=assigner)
+        out = list(sharded.run(records[:50]))
+        out.extend(sharded.run(records[50:]))
+        out.extend(sharded.finish())
+        one_shot = ShardedPipeline(window_pipeline, 3, watermark_factory=assigner)
+        assert canonical(sorted(out, key=lambda r: (r.t, r.key or ""))) == canonical(
+            one_shot.run_to_end(records)
+        )
+
+    def test_finish_is_single_use(self):
+        sharded = ShardedPipeline(map_pipeline, 2)
+        sharded.finish()
+        with pytest.raises(RuntimeError):
+            sharded.finish()
+        with pytest.raises(RuntimeError):
+            sharded.run([])
+
+    def test_min_watermark_lags_slowest_shard(self):
+        sharded = ShardedPipeline(map_pipeline, 2, watermark_factory=assigner)
+        assert sharded.min_watermark() == float("-inf")
+        # Both keys hash to known shards; feed them unevenly.
+        keys = sorted({f"k{i}" for i in range(10)}, key=lambda k: shard_index(k, 2))
+        lo = next(k for k in keys if shard_index(k, 2) == 0)
+        hi = next(k for k in keys if shard_index(k, 2) == 1)
+        sharded.run([Record(100.0, 1, key=lo), Record(20.0, 1, key=hi)])
+        assert sharded.min_watermark() == 20.0 - 5.0
+
+    def test_wall_and_balance_accounting(self):
+        records = keyed_records(100)
+        sharded = ShardedPipeline(map_pipeline, 2)
+        sharded.run_to_end(records)
+        assert sum(sharded.records_processed()) == len(records)
+        assert sharded.critical_path_speedup() >= 1.0
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            ShardedPipeline(map_pipeline, 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+                st.integers(min_value=0, max_value=20),
+            ),
+            max_size=200,
+        ),
+        st.integers(min_value=2, max_value=6),
+    )
+    def test_property_sharded_equals_oracle(self, pairs, n_shards):
+        """For any keyed stream, N shards == the n_shards=1 oracle."""
+        records = [Record(t, k, key=f"entity-{k}") for t, k in sorted(pairs)]
+        oracle = ShardedPipeline(window_pipeline, 1, watermark_factory=assigner)
+        sharded = ShardedPipeline(window_pipeline, n_shards, watermark_factory=assigner)
+        assert canonical(sharded.run_to_end(records)) == canonical(oracle.run_to_end(records))
+
+
+class TestDrainSharded:
+    def test_drains_broker_through_replicas(self):
+        records = keyed_records(120)
+        broker = ShardedBroker(3)
+        broker.create_topic("raw")
+        broker.publish_many("raw", records)
+        sharded = ShardedPipeline(window_pipeline, 3, watermark_factory=assigner)
+        out = drain_sharded(broker.consumers("raw", "g"), sharded, max_messages=16)
+        plain = window_pipeline().run(
+            sorted(records, key=lambda r: (r.t, r.key or "")), watermarks=assigner(), flush=True
+        )
+        assert sorted(canonical(out)) == sorted(canonical(plain))
+
+    def test_consumer_count_must_match(self):
+        broker = ShardedBroker(2)
+        broker.create_topic("raw")
+        sharded = ShardedPipeline(window_pipeline, 3, watermark_factory=assigner)
+        with pytest.raises(ValueError):
+            drain_sharded(broker.consumers("raw", "g"), sharded)
+
+    def test_no_records_dropped_at_poll_boundaries(self):
+        """Polling in small batches must not lose in-bound records: the
+        cross-poll watermark fix is what makes the sharded drain safe."""
+        records = keyed_records(97, n_keys=5)
+        broker = ShardedBroker(2)
+        broker.create_topic("raw")
+        broker.publish_many("raw", records)
+        sharded = ShardedPipeline(window_pipeline, 2, watermark_factory=assigner)
+        out = drain_sharded(broker.consumers("raw", "g"), sharded, max_messages=7)
+        assert sum(r.value.value for r in out) == len(records)
+
+
+class TestRunSharded:
+    def test_sequential_matches_oracle(self):
+        records = keyed_records(150)
+        merged = run_sharded(window_pipeline, records, 4, watermark_factory=assigner, parallel=False)
+        oracle = run_sharded(window_pipeline, records, 1, watermark_factory=assigner, parallel=False)
+        assert canonical(merged) == canonical(oracle)
+
+    def test_parallel_matches_sequential(self):
+        records = keyed_records(60, n_keys=4)
+        sequential = run_sharded(map_pipeline, records, 2, parallel=False)
+        forked = run_sharded(map_pipeline, records, 2, parallel=True, processes=2)
+        assert canonical(forked) == canonical(sequential)
+
+    def test_n_shards_one_is_plain_pipeline(self):
+        records = keyed_records(80)
+        merged = run_sharded(window_pipeline, records, n_shards=1, watermark_factory=assigner)
+        plain = window_pipeline().run(records, watermarks=assigner(), flush=True)
+        assert canonical(merged) == canonical(merge_shard_outputs([plain]))

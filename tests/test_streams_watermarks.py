@@ -1,0 +1,116 @@
+"""Cross-poll watermark semantics and merge stability.
+
+Regression tests for the incremental-run watermark corruption: a
+``flush=False`` pipeline run must NOT inject the stream-closing final
+watermark — doing so jumps event time past ``max_t`` at every poll
+boundary, so any record arriving in the next poll within the
+out-of-orderness bound is misclassified as late and dropped. These
+semantics are the prerequisite for the sharded substrate, where a shard
+merge is exactly a sequence of incremental runs.
+"""
+
+from repro.streams import (
+    Broker,
+    Pipeline,
+    Record,
+    TumblingWindow,
+    WatermarkAssigner,
+    count_aggregate,
+    drain_consumer,
+    merge_by_time,
+)
+
+
+def recs(*pairs, key="k"):
+    return [Record(t, v, key=key) for t, v in pairs]
+
+
+class _CappedConsumer:
+    """A consumer shim that forces small poll batches (many poll boundaries)."""
+
+    def __init__(self, consumer, max_messages):
+        self._consumer = consumer
+        self._max = max_messages
+
+    def poll(self):
+        return self._consumer.poll(self._max)
+
+
+class TestIncrementalRunWatermarks:
+    def test_flush_false_does_not_inject_final_watermark(self):
+        """Records in a later increment, inside the out-of-orderness bound,
+        must still land in their window — the poll-boundary regression."""
+        window = TumblingWindow(10.0, count_aggregate)
+        pipeline = Pipeline([window])
+        assigner = WatermarkAssigner(out_of_orderness_s=5.0)
+        # Poll 1 reaches t=12; with the bug, a final watermark (12+5+1=18)
+        # closes the [10, 20) window... no — it closes [0, 10) AND poisons
+        # the assigner's floor so poll 2's t=9 (in bound: 12-5=7 <= 9) drops.
+        out = pipeline.run(recs((1.0, "a"), (12.0, "b")), watermarks=assigner, flush=False)
+        assert out == []  # watermark 12-5=7 < 10: nothing closes yet
+        out = pipeline.run(recs((9.0, "c"), (13.0, "d")), watermarks=assigner, flush=False)
+        out.extend(r for r in pipeline.push(assigner.final_watermark()) if isinstance(r, Record))
+        out.extend(pipeline.flush())
+        counts = {r.value.start: r.value.value for r in out}
+        assert window.stats.dropped == 0
+        assert counts == {0.0: 2, 10.0: 2}  # t=9.0 landed in [0, 10)
+
+    def test_two_increments_equal_one_run(self):
+        """Splitting a stream across increments must not change the output."""
+        records = recs((1.0, 1), (4.0, 2), (11.0, 3), (8.0, 4), (14.0, 5), (21.0, 6))
+        one = Pipeline([TumblingWindow(10.0, count_aggregate)])
+        whole = one.run(list(records), watermarks=WatermarkAssigner(5.0), flush=True)
+        split = Pipeline([TumblingWindow(10.0, count_aggregate)])
+        assigner = WatermarkAssigner(5.0)
+        out = split.run(records[:3], watermarks=assigner, flush=False)
+        out.extend(split.run(records[3:], watermarks=assigner, flush=False))
+        out.extend(r for r in split.push(assigner.final_watermark()) if isinstance(r, Record))
+        out.extend(split.flush())
+        assert [(r.t, r.key, r.value) for r in out] == [(r.t, r.key, r.value) for r in whole]
+
+    def test_drain_consumer_no_drops_at_poll_boundaries(self):
+        """End to end: a capped consumer forces many poll boundaries; every
+        record must still be counted in some window."""
+        broker = Broker()
+        topic = broker.create_topic("raw", partitions=2)
+        n = 37
+        for i in range(n):
+            topic.publish(Record(float(i), i, key=f"k{i % 3}"))
+        window = TumblingWindow(10.0, count_aggregate)
+        out = drain_consumer(
+            _CappedConsumer(broker.consumer("raw", "g"), 5),
+            Pipeline([window]),
+            watermarks=WatermarkAssigner(out_of_orderness_s=4.0),
+        )
+        assert window.stats.dropped == 0
+        assert sum(r.value.value for r in out) == n
+
+    def test_current_watermark_tracks_max_t(self):
+        assigner = WatermarkAssigner(out_of_orderness_s=5.0)
+        assert assigner.current_watermark() == float("-inf")
+        assigner.feed(Record(10.0, "a", key="k"))
+        assert assigner.current_watermark() == 5.0
+        assigner.feed(Record(3.0, "b", key="k"))  # late arrival: no regression
+        assert assigner.current_watermark() == 5.0
+
+
+class TestMergeByTimeStability:
+    def test_equal_timestamps_favor_lower_stream(self):
+        a = recs((1.0, "a1"), (2.0, "a2"))
+        b = recs((1.0, "b1"), (2.0, "b2"))
+        merged = [r.value for r in merge_by_time(a, b)]
+        assert merged == ["a1", "b1", "a2", "b2"]
+
+    def test_per_stream_order_preserved_within_ties(self):
+        a = recs((5.0, "a1"), (5.0, "a2"), (5.0, "a3"))
+        b = recs((5.0, "b1"), (5.0, "b2"))
+        merged = [r.value for r in merge_by_time(a, b)]
+        assert [v for v in merged if v.startswith("a")] == ["a1", "a2", "a3"]
+        assert [v for v in merged if v.startswith("b")] == ["b1", "b2"]
+
+    def test_unorderable_values_never_compared(self):
+        """The heap orders on (t, idx) alone: values with no __lt__ are fine
+        even on timestamp ties (the dead tiebreak counter is gone)."""
+        a = [Record(1.0, object()), Record(1.0, object())]
+        b = [Record(1.0, object())]
+        assert len(list(merge_by_time(a, b))) == 3
