@@ -17,6 +17,13 @@ inputs and asserting the outputs match:
   walls)`` — the factor an N-core schedule of these shards gains, which
   is runner-independent (it measures routing balance, not how many
   cores the CI box happens to have).
+* **sharded observability** — the distributed obs plane over a full
+  ``ShardedRealtimeLayer`` run: the folded parent registry's aggregate
+  counters must equal the single-shard oracle's exactly, every merged
+  counter must equal the sum of its ``shard.<i>.*`` parts (the
+  ``consistency`` entries ``tools/perf_gate.py`` enforces over this
+  bench's snapshot), and ``e2e.record_latency_s`` — ingest wall stamp to
+  merged-stream consumption — must be populated.
 
 Besides the usual ``BENCH_obs.json`` snapshot, this bench persists
 ``BENCH_throughput.json`` at the repo root — the input for the
@@ -35,10 +42,11 @@ from time import perf_counter
 
 import pytest
 
+from repro.core import ShardedRealtimeLayer, SystemConfig
 from repro.datasources import AISConfig, AISSimulator, DEFAULT_BBOX
 from repro.geo import BBox
 from repro.kgstore import KGStore, STConstraint, star
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, harvest_obs
 from repro.rdf import A, VOC, var
 from repro.rdf.rdfizers import raw_fix_rdfizer, synopses_rdfizer
 from repro.streams import (
@@ -314,3 +322,78 @@ def test_sharded_pipeline_throughput(console, benchmark, emit_metrics):
         _shard_stage_pipeline, N_SHARDS, watermark_factory=_shard_assigner
     ).run_to_end(records))
     emit_metrics(registry, benchmark, title="sharded substrate (critical-path balance)")
+
+
+# -- distributed obs plane: merged harvest vs the single-shard oracle --------------
+
+OBS_VESSELS = 40
+OBS_HOURS = 2.0
+
+#: The merged counter families whose per-shard completeness the perf
+#: gate's ``consistency`` section re-checks over this bench's snapshot.
+OBS_CONSISTENCY_FAMILIES = ("op.clean.records_in", "stage.raw.records")
+
+
+def _obs_fixes() -> list:
+    sim = AISSimulator(
+        n_vessels=OBS_VESSELS, seed=19, config=AISConfig(report_period_s=30.0)
+    )
+    return list(sim.fixes(0.0, OBS_HOURS * 3600.0))
+
+
+def _merged_counters(layer: ShardedRealtimeLayer) -> dict[str, int]:
+    return {
+        name: value
+        for name, value in layer.metrics.counters().items()
+        if not name.startswith("shard.")
+    }
+
+
+def test_sharded_observability(console, benchmark, emit_metrics):
+    fixes = _obs_fixes()
+    oracle = ShardedRealtimeLayer(SystemConfig(n_shards=1))
+    oracle.run(fixes)
+    layer = ShardedRealtimeLayer(SystemConfig(n_shards=N_SHARDS))
+    start = perf_counter()
+    report = layer.run(fixes)
+    run_wall_s = perf_counter() - start
+    # The folded plane must be lossless: merged report and merged
+    # aggregate counters equal the single-shard oracle's exactly.
+    assert report == oracle.report
+    merged = _merged_counters(layer)
+    assert merged == _merged_counters(oracle)
+    for family in OBS_CONSISTENCY_FAMILIES:
+        parts = sum(
+            value
+            for name, value in layer.metrics.counters().items()
+            if name.startswith("shard.") and name.endswith(f".{family}")
+        )
+        assert parts == merged[family], f"{family}: shard parts {parts} != merged"
+    e2e = layer.metrics.histogram("e2e.record_latency_s")
+    assert e2e.count > 0, "no end-to-end record latency observed on the merged stream"
+    _RESULTS["observability"] = {
+        "fixes": len(fixes),
+        "shards": N_SHARDS,
+        "run_wall_s": run_wall_s,
+        "critical_path_speedup": layer.critical_path_speedup(),
+        "merged_counters": len(merged),
+        "e2e_count": e2e.count,
+        "e2e_p99_s": e2e.quantile(0.99),
+    }
+    path = _persist()
+    with console():
+        print(format_table(
+            f"Sharded obs plane, {len(fixes):,} fixes over {N_SHARDS} replica shards",
+            ["view", "counters", "e2e p99"],
+            [
+                ["1-shard oracle", len(_merged_counters(oracle)), "-"],
+                [f"{N_SHARDS}-shard fold", len(merged), f"{e2e.quantile(0.99) * 1e3:.1f} ms"],
+            ],
+            width=22,
+        ))
+        print(f"harvest lossless over {len(merged)} families  -> {path.name}")
+    # The hot path the plane adds per run: one replica's full harvest.
+    benchmark(lambda: harvest_obs(
+        0, layer.shards[0].metrics, layer.shards[0].events, layer.shards[0].tracer
+    ))
+    emit_metrics(layer.metrics, benchmark, title="sharded observability (merged harvest)")

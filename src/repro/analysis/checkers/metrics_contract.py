@@ -20,8 +20,12 @@ statically:
   match at least one statically-registerable *gauge*;
 * **dead budgets** — every ``budgets[].metric`` key in
   ``tools/perf_budget.json`` must resolve to an emitted metric of the
-  right kind with a valid histogram field, and every ``throughput[]``
-  path component must appear in ``bench_throughput.py``.
+  right kind with a valid histogram field, every ``consistency[]``
+  merged/parts key must name a live counter or gauge family
+  (``shard.<i>.*`` references are validated by their inner family, the
+  one the harvest fold re-registers per shard), and every
+  ``throughput[]`` path component must appear in
+  ``bench_throughput.py``.
 """
 
 from __future__ import annotations
@@ -42,7 +46,7 @@ KNOWN_ROOTS = frozenset(
     {
         "op", "kg", "cep", "batch", "broker", "pipeline", "realtime",
         "shard", "stage", "synopses", "linkdiscovery", "prediction",
-        "dashboard", "throughput",
+        "dashboard", "throughput", "e2e",
     }
 )
 
@@ -81,6 +85,19 @@ class Emission:
     path: str
     line: int
     col: int
+
+
+def _shard_inner(name: str) -> str | None:
+    """The inner family of a ``shard.<seg>.<family>`` reference, if any.
+
+    ``shard.*.op.clean.records_in`` -> ``op.clean.records_in``;
+    non-shard names and two-segment ones (``shard.count``) -> ``None``.
+    """
+    head, _, rest = name.partition(".")
+    if head != "shard" or not rest:
+        return None
+    _, _, inner = rest.partition(".")
+    return inner or None
 
 
 def could_match(reference: str, emitted: str) -> bool:
@@ -295,7 +312,7 @@ class MetricContractChecker(Checker):
                         )
                     )
                     continue
-            if not any(could_match(name, em) for em in by_kind[section]):
+            if not self._matches_emitted(name, by_kind[section]):
                 findings.append(
                     self.finding(
                         "error", relpath, line, 0,
@@ -304,8 +321,49 @@ class MetricContractChecker(Checker):
                         f"renamed or removed?",
                     )
                 )
+        for entry in budget.get("consistency", []):
+            for key in ("merged", "parts"):
+                metric = str(entry.get(key, ""))
+                section, _, name = metric.partition(".")
+                line = line_of(metric)
+                if section not in ("counters", "gauges") or not name:
+                    findings.append(
+                        self.finding(
+                            "error", relpath, line, 0,
+                            f"consistency {key} key {metric!r} must start with "
+                            f"counters/ or gauges/ (harvest completeness is "
+                            f"checked over exact-merge kinds)",
+                        )
+                    )
+                    continue
+                if not self._matches_emitted(name, by_kind[section]):
+                    findings.append(
+                        self.finding(
+                            "error", relpath, line, 0,
+                            f"stale consistency key: {metric!r} matches no "
+                            f"metric statically emitted anywhere in "
+                            f"src/benchmarks — renamed or removed?",
+                        )
+                    )
         findings.extend(self._check_throughput_budget(project, budget, relpath, line_of))
         return findings
+
+    @staticmethod
+    def _matches_emitted(name: str, emitted: list[str]) -> bool:
+        """Does a budget reference match a statically-emitted name?
+
+        References under the harvest fold's ``shard.<i>.*`` root are
+        validated by their *inner* family: the fold re-registers every
+        harvested family under the shard prefix, so what must stay alive
+        is the underlying metric — matching the fold's dynamic
+        ``shard.*.*`` emission itself would accept anything and hide
+        staleness.
+        """
+        inner = _shard_inner(name)
+        if inner is not None and "." in inner:
+            candidates = [em for em in emitted if not em.startswith("shard.")]
+            return any(could_match(inner, em) for em in candidates)
+        return any(could_match(name, em) for em in emitted)
 
     def _check_throughput_budget(self, project, budget, relpath, line_of) -> list[Finding]:
         entries = budget.get("throughput", [])

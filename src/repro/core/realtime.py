@@ -16,7 +16,7 @@ through their own consumer groups).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from time import perf_counter
+from time import perf_counter, time as wall_clock
 from typing import Any, Iterable
 
 from ..cep import (
@@ -165,6 +165,16 @@ class RealtimeLayer:
         tracer = self.tracer
         trace_every = self.config.trace_sample_every
         fix_latency = self.metrics.histogram("realtime.fix_latency_s")
+        # End-to-end record latency — ingest wall time to enriched output —
+        # is measured by whoever owns the full Figure-2 chain. A shard
+        # replica (enable_proximity=False) only stamps provenance; the
+        # sharded deployment measures e2e once, at the merged-stream
+        # consumer, so the metric means the same thing on both paths.
+        e2e_latency = (
+            self.metrics.histogram("e2e.record_latency_s")
+            if self.proximity is not None
+            else None
+        )
         cep_events: list[SimpleEvent] = []
         # Publish per batch, not per fix: each Figure-2 hop buffers into a
         # TopicBatcher that flushes through the broker's publish_many fast
@@ -177,11 +187,18 @@ class RealtimeLayer:
         raw_counter = self.metrics.counter("stage.raw.records")
         self.events.emit("info", "realtime", "run_started")
 
+        # The wall-clock instant the *current* fix entered the system.
+        # clean_stream is a 1:1 in-order drop-or-yield filter, so when it
+        # yields, the last stamp written here belongs to that very fix.
+        ingest_wall = [0.0]
+
         def raw_stream():
             for fix in fixes:
                 report.raw_fixes += 1
                 raw_counter.inc()
-                raw_topic.add(Record(fix.t, fix, key=fix.entity_id))
+                stamp = wall_clock()
+                ingest_wall[0] = stamp
+                raw_topic.add(Record(fix.t, fix, key=fix.entity_id, ingest_wall_s=stamp))
                 yield fix
 
         wall_start = perf_counter()
@@ -192,13 +209,14 @@ class RealtimeLayer:
                 fix = next(clean_it)
             except StopIteration:
                 break
+            fix_ingest = ingest_wall[0]
             # Ingest + online cleaning latency is the time to surface this fix.
             probes["clean"].observe(1, perf_counter() - fix_start)
             span = None
             if trace_every and report.clean_fixes % trace_every == 0:
                 span = tracer.start_trace("record", entity_id=fix.entity_id, t=fix.t)
             report.clean_fixes += 1
-            clean_topic.add(Record(fix.t, fix, key=fix.entity_id))
+            clean_topic.add(Record(fix.t, fix, key=fix.entity_id, ingest_wall_s=fix_ingest))
             self.dashboard.ingest_fix(fix)
             # Low-level area events.
             child = tracer.start_span("area_events", span) if span else None
@@ -217,19 +235,25 @@ class RealtimeLayer:
                 tracer.finish(child)
             for cp in points:
                 report.critical_points += 1
-                syn_topic.add(Record(cp.t, cp, key=cp.entity_id))
+                syn_topic.add(Record(cp.t, cp, key=cp.entity_id, ingest_wall_s=fix_ingest))
                 self.dashboard.ingest_critical_point(cp)
-                self._enrich(cp, link_topic, report, parent_span=span)
+                self._enrich(cp, link_topic, report, parent_span=span, ingest_wall_s=fix_ingest)
                 cep_events.extend(turn_event_stream([cp]))
+                if e2e_latency is not None:
+                    e2e_latency.observe(wall_clock() - fix_ingest)
             fix_latency.observe(perf_counter() - fix_start)
             if span:
                 tracer.finish(span)
-        # Trailing synopsis points.
+        # Trailing synopsis points surface when the stream closes; their
+        # provenance is the last ingested fix's stamp (None on an empty run).
+        tail_ingest = ingest_wall[0] or None
         for cp in self.synopses.flush():
             report.critical_points += 1
-            syn_topic.add(Record(cp.t, cp, key=cp.entity_id))
-            self._enrich(cp, link_topic, report)
+            syn_topic.add(Record(cp.t, cp, key=cp.entity_id, ingest_wall_s=tail_ingest))
+            self._enrich(cp, link_topic, report, ingest_wall_s=tail_ingest)
             cep_events.extend(turn_event_stream([cp]))
+            if e2e_latency is not None and tail_ingest is not None:
+                e2e_latency.observe(wall_clock() - tail_ingest)
         # Complex event recognition & forecasting over the synopsis stream.
         if self.cep is not None and cep_events:
             t0 = perf_counter()
@@ -280,6 +304,7 @@ class RealtimeLayer:
         link_topic: TopicBatcher,
         report: RealtimeReport,
         parent_span=None,
+        ingest_wall_s: float | None = None,
     ) -> None:
         """Run link discovery and weather enrichment for one critical point."""
         sample = self.weather.sample(cp.fix.lon, cp.fix.lat, cp.t)
@@ -304,4 +329,4 @@ class RealtimeLayer:
             self.tracer.finish(child)
         report.links += len(links)
         for link in links:
-            link_topic.add(Record(link.t, link, key=link.source_id))
+            link_topic.add(Record(link.t, link, key=link.source_id, ingest_wall_s=ingest_wall_s))

@@ -18,6 +18,18 @@ from .export import (
     write_json_snapshot,
     write_openmetrics,
 )
+from .harvest import (
+    DEFAULT_GAUGE_RULES,
+    HistogramSnapshot,
+    MetricsSnapshot,
+    ObsHarvest,
+    ShardObsWorker,
+    ShardedObsPlane,
+    fold_harvests,
+    harvest_obs,
+    merge_histogram_snapshots,
+    snapshot_registry,
+)
 from .health import DEGRADED, FAILING, OK, HealthMonitor, HealthRule, default_realtime_rules
 from .instrument import (
     OperatorProbe,
@@ -33,6 +45,7 @@ from .tracing import Span, Tracer
 
 __all__ = [
     "Counter",
+    "DEFAULT_GAUGE_RULES",
     "DEGRADED",
     "EventLog",
     "FAILING",
@@ -40,18 +53,27 @@ __all__ = [
     "HealthMonitor",
     "HealthRule",
     "Histogram",
+    "HistogramSnapshot",
     "JsonlSink",
     "MetricsRegistry",
     "MetricsServer",
+    "MetricsSnapshot",
     "OK",
     "ObsEvent",
+    "ObsHarvest",
     "OperatorProbe",
     "SEVERITIES",
+    "ShardObsWorker",
+    "ShardedObsPlane",
     "Span",
     "Tracer",
     "consumer_lags",
     "default_realtime_rules",
+    "fold_harvests",
     "format_snapshot",
+    "harvest_obs",
+    "merge_histogram_snapshots",
+    "snapshot_registry",
     "instrument_broker",
     "instrument_consumer",
     "instrument_operator",

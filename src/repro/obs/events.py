@@ -119,6 +119,41 @@ class EventLog:
             self.sink(event)
         return event
 
+    def ingest(self, event: "ObsEvent | dict[str, Any]", **extra_tags: Any) -> ObsEvent:
+        """Absorb a foreign event (e.g. harvested from a shard worker).
+
+        The original wall-clock stamp, severity, component, kind, message,
+        event time and tags are preserved — only the sequence number is
+        re-assigned, because ``seq`` orders *this* log. ``extra_tags``
+        (e.g. ``shard=3``) are merged over the event's own tags so a
+        merged log stays filterable by origin.
+        """
+        data = event.to_dict() if isinstance(event, ObsEvent) else dict(event)
+        severity = str(data.get("severity", "info"))
+        if severity not in _SEVERITY_RANK:
+            raise ValueError(f"unknown severity {severity!r}; use one of {SEVERITIES}")
+        tags = dict(data.get("tags") or {})
+        tags.update(extra_tags)
+        wall_s = data.get("wall_s")
+        merged = ObsEvent(
+            seq=self._next_seq,
+            wall_s=float(wall_s) if wall_s is not None else self._clock(),
+            severity=severity,
+            component=str(data.get("component", "")),
+            kind=str(data.get("kind", "")),
+            message=str(data.get("message", "")),
+            t=data.get("t"),
+            tags=tags,
+        )
+        self._next_seq += 1
+        self.counts[severity] += 1
+        if len(self._ring) == self.capacity:
+            self.overwritten += 1
+        self._ring.append(merged)
+        if self.sink is not None:
+            self.sink(merged)
+        return merged
+
     # -- querying ----------------------------------------------------------------
 
     def __len__(self) -> int:

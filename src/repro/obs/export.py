@@ -38,6 +38,38 @@ _SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
 #: Quantiles exposed per histogram, matching ``Histogram.quantiles``.
 _QUANTILES = (0.5, 0.95, 0.99)
 
+#: Registry names of the form ``shard.<i>.<rest>`` (harvested per-shard
+#: families) render as ONE OpenMetrics family per ``<rest>`` with a
+#: ``shard="<i>"`` label, instead of one family per shard.
+_SHARD_FAMILY = re.compile(r"shard\.(\d+)\.(.+)$")
+
+
+def _family_rows(table: dict[str, Any]) -> list[tuple[str, int | None, Any]]:
+    """Group one snapshot section into ``(family, shard, value)`` rows.
+
+    Non-shard names keep ``shard=None``. Rows are ordered by family then
+    numeric shard index, so every family's samples are contiguous (one
+    TYPE line heads them all).
+    """
+    rows: list[tuple[str, int | None, Any]] = []
+    for name, value in table.items():
+        m = _SHARD_FAMILY.match(name)
+        if m is not None:
+            rows.append((f"shard.{m.group(2)}", int(m.group(1)), value))
+        else:
+            rows.append((name, None, value))
+    rows.sort(key=lambda r: (r[0], -1 if r[1] is None else r[1]))
+    return rows
+
+
+def _labels(shard: int | None, quantile: float | None = None) -> str:
+    parts = []
+    if shard is not None:
+        parts.append(f'shard="{shard}"')
+    if quantile is not None:
+        parts.append(f'quantile="{_fmt(quantile)}"')
+    return "{" + ",".join(parts) + "}" if parts else ""
+
 
 def sanitize_metric_name(name: str, prefix: str = "") -> str:
     """Registry name -> legal OpenMetrics name (dots become underscores).
@@ -74,6 +106,11 @@ def render_openmetrics(
     so archived bench snapshots render identically to live state.
     ``prefix`` is prepended to every metric name before sanitization
     (used to namespace per-bench sections in ``BENCH_obs.om``).
+
+    Harvested per-shard families (``shard.<i>.<rest>`` registry names,
+    see :mod:`repro.obs.harvest`) render as one shard-labeled family —
+    ``shard_op_clean_records_in_total{shard="0"}`` — so a merged
+    registry's export reads like a normal multi-target scrape.
     """
     snap = (
         registry_or_snapshot.snapshot()
@@ -81,22 +118,32 @@ def render_openmetrics(
         else registry_or_snapshot
     )
     lines: list[str] = []
-    for name, value in snap.get("counters", {}).items():
-        om = sanitize_metric_name(name, prefix)
-        lines.append(f"# TYPE {om} counter")
-        lines.append(f"{om}_total {_fmt(value)}")
-    for name, value in snap.get("gauges", {}).items():
-        om = sanitize_metric_name(name, prefix)
-        lines.append(f"# TYPE {om} gauge")
-        lines.append(f"{om} {_fmt(value)}")
-    for name, hist in snap.get("histograms", {}).items():
-        om = sanitize_metric_name(name, prefix)
-        lines.append(f"# TYPE {om} summary")
+    seen: set[str]
+    seen = set()
+    for family, shard, value in _family_rows(snap.get("counters", {})):
+        om = sanitize_metric_name(family, prefix)
+        if om not in seen:
+            seen.add(om)
+            lines.append(f"# TYPE {om} counter")
+        lines.append(f"{om}_total{_labels(shard)} {_fmt(value)}")
+    seen = set()
+    for family, shard, value in _family_rows(snap.get("gauges", {})):
+        om = sanitize_metric_name(family, prefix)
+        if om not in seen:
+            seen.add(om)
+            lines.append(f"# TYPE {om} gauge")
+        lines.append(f"{om}{_labels(shard)} {_fmt(value)}")
+    seen = set()
+    for family, shard, hist in _family_rows(snap.get("histograms", {})):
+        om = sanitize_metric_name(family, prefix)
+        if om not in seen:
+            seen.add(om)
+            lines.append(f"# TYPE {om} summary")
         for q in _QUANTILES:
             value = hist.get(f"p{int(q * 100)}", math.nan)
-            lines.append(f'{om}{{quantile="{_fmt(q)}"}} {_fmt(value)}')
-        lines.append(f"{om}_count {_fmt(hist.get('count', 0))}")
-        lines.append(f"{om}_sum {_fmt(hist.get('sum', 0.0))}")
+            lines.append(f"{om}{_labels(shard, q)} {_fmt(value)}")
+        lines.append(f"{om}_count{_labels(shard)} {_fmt(hist.get('count', 0))}")
+        lines.append(f"{om}_sum{_labels(shard)} {_fmt(hist.get('sum', 0.0))}")
     lines.append("# EOF")
     return "\n".join(lines) + "\n"
 

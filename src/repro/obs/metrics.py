@@ -67,6 +67,15 @@ class Gauge:
     def value(self) -> float:
         return float(self._fn()) if self._fn is not None else self._value
 
+    @property
+    def callback_backed(self) -> bool:
+        """Whether reads go through a live callback (then :meth:`set` raises).
+
+        Harvest folding checks this: a callback gauge is the parent's own
+        live view of some state, and a folded shard value must not fight it.
+        """
+        return self._fn is not None
+
 
 class Histogram:
     """A streaming distribution summary with bounded memory.
@@ -101,6 +110,44 @@ class Histogram:
             j = self._rng.randrange(self.count)
             if j < self.reservoir_size:
                 self._reservoir[j] = value
+
+    def samples(self) -> tuple[float, ...]:
+        """The current reservoir contents (a uniform sample of observations)."""
+        return tuple(self._reservoir)
+
+    def absorb(
+        self,
+        count: int,
+        total: float,
+        minimum: float,
+        maximum: float,
+        reservoir: tuple[float, ...] | list[float],
+    ) -> None:
+        """Merge another histogram's summary into this one.
+
+        The exact fields combine exactly — counts and sums add, min/max
+        take the extremes — so merged count/sum/min/max carry no sampling
+        error. The reservoirs combine by deterministic weighted sampling:
+        each side keeps a share of the merged reservoir proportional to
+        its observation count (largest-remainder allocation), drawn
+        without replacement with this histogram's seeded RNG, so a merge
+        of the same summaries is byte-identical run to run.
+        """
+        if count < 0:
+            raise ValueError("cannot absorb a negative observation count")
+        if count == 0:
+            return
+        self._reservoir = merge_reservoirs(
+            [(self.count, self._reservoir), (count, list(reservoir))],
+            self.reservoir_size,
+            self._rng,
+        )
+        self.count += count
+        self.sum += total
+        if minimum < self.min:
+            self.min = minimum
+        if maximum > self.max:
+            self.max = maximum
 
     @property
     def mean(self) -> float:
@@ -140,6 +187,46 @@ class Histogram:
             "max": self.max if self.count else math.nan,
             **self.quantiles(),
         }
+
+
+def merge_reservoirs(
+    parts: list[tuple[int, list[float]]], k: int, rng: random.Random
+) -> list[float]:
+    """Deterministic weighted merge of reservoir samples.
+
+    ``parts`` pairs each source's true observation count with its sampled
+    reservoir. When everything fits in ``k`` slots the merge is lossless;
+    otherwise each part gets a share of the merged reservoir proportional
+    to its observation count (largest-remainder rounding, ties broken by
+    part order) and contributes that many samples drawn without
+    replacement via ``rng.sample``. With a seeded RNG and a fixed part
+    order the result is fully deterministic.
+    """
+    pools = [(c, list(r)) for c, r in parts if c > 0 and r]
+    if not pools:
+        return []
+    if sum(len(r) for _, r in pools) <= k:
+        return [x for _, r in pools for x in r]
+    total = sum(c for c, _ in pools)
+    shares = [k * c / total for c, _ in pools]
+    quotas = [min(int(s), len(r)) for s, (_, r) in zip(shares, pools)]
+    while sum(quotas) < k:
+        # Hand remaining slots to the pool with the largest unmet share
+        # that still has samples left; ties break on part order.
+        best, best_unmet = -1, -1.0
+        for i, (s, (_, r)) in enumerate(zip(shares, pools)):
+            if quotas[i] >= len(r):
+                continue
+            unmet = s - quotas[i]
+            if unmet > best_unmet:
+                best, best_unmet = i, unmet
+        if best < 0:
+            break
+        quotas[best] += 1
+    merged: list[float] = []
+    for q, (_, r) in zip(quotas, pools):
+        merged.extend(r if q >= len(r) else rng.sample(r, q))
+    return merged
 
 
 class MetricsRegistry:

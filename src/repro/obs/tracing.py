@@ -94,6 +94,57 @@ class Tracer:
             self.dropped_spans += 1
         return span
 
+    def absorb(
+        self,
+        spans: list[Span],
+        parent: Span | None = None,
+        tags: dict[str, Any] | None = None,
+    ) -> list[Span]:
+        """Re-home foreign spans (e.g. harvested from a shard worker).
+
+        Every absorbed span gets fresh span and trace ids from this
+        tracer's sequences — foreign ids are process-local and would
+        collide — with one new trace id per foreign trace, so shard-local
+        traces stay grouped but namespaced. Root spans (and spans whose
+        foreign parent is not in this batch) are re-parented under
+        ``parent`` when given, hanging a whole sharded run off one
+        synthetic root. ``tags`` (e.g. ``{"shard": 3}``) are merged into
+        every absorbed span. Start/end stamps are copied verbatim: they
+        are only comparable *within* one foreign trace, which is all the
+        per-stage durations need.
+        """
+        id_map: dict[int, int] = {}
+        trace_map: dict[int, int] = {}
+        absorbed: list[Span] = []
+        for sp in spans:
+            trace_id = trace_map.get(sp.trace_id)
+            if trace_id is None:
+                trace_id = trace_map[sp.trace_id] = self._next_trace_id
+                self._next_trace_id += 1
+            parent_id = id_map.get(sp.parent_id) if sp.parent_id is not None else None
+            if parent_id is None and parent is not None:
+                parent_id = parent.span_id
+            new_tags = dict(sp.tags)
+            if tags:
+                new_tags.update(tags)
+            new = Span(
+                span_id=self._next_span_id,
+                trace_id=trace_id,
+                parent_id=parent_id,
+                name=sp.name,
+                start=sp.start,
+                end=sp.end,
+                tags=new_tags,
+            )
+            id_map[sp.span_id] = new.span_id
+            self._next_span_id += 1
+            if len(self._spans) < self.max_spans:
+                self._spans.append(new)
+                absorbed.append(new)
+            else:
+                self.dropped_spans += 1
+        return absorbed
+
     # -- querying ----------------------------------------------------------------
 
     def spans(self) -> list[Span]:
@@ -115,9 +166,14 @@ class Tracer:
         spans = self.trace(trace_id)
         if not spans:
             return f"(trace {trace_id}: no spans)"
+        # A span whose parent lives in another trace (an absorbed shard
+        # root re-parented under the synthetic run root) renders as a
+        # root of its own trace.
+        span_ids = {sp.span_id for sp in spans}
         children: dict[int | None, list[Span]] = {}
         for sp in spans:
-            children.setdefault(sp.parent_id, []).append(sp)
+            key = sp.parent_id if sp.parent_id in span_ids else None
+            children.setdefault(key, []).append(sp)
         lines: list[str] = []
 
         def walk(sp: Span, depth: int) -> None:

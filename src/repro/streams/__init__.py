@@ -14,6 +14,7 @@ from .sharding import (
     ShardedBroker,
     ShardedPipeline,
     ShardRouter,
+    critical_path_speedup,
     drain_sharded,
     merge_shard_outputs,
     run_sharded,
@@ -51,6 +52,7 @@ __all__ = [
     "WatermarkAssigner",
     "WindowResult",
     "count_aggregate",
+    "critical_path_speedup",
     "drain_consumer",
     "drain_sharded",
     "mean_aggregate",

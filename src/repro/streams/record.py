@@ -18,19 +18,29 @@ T = TypeVar("T")
 
 @dataclass(frozen=True, slots=True)
 class Record(Generic[T]):
-    """A keyed, event-time-stamped stream element."""
+    """A keyed, event-time-stamped stream element.
+
+    ``ingest_wall_s`` is provenance, not payload: the wall-clock instant
+    the record's source fix entered the system, stamped at ingest and
+    carried through derived records so the end-to-end record latency
+    (``e2e.record_latency_s``) can be measured wherever the record is
+    finally consumed — including after a cross-process shard merge. It
+    does not participate in equality: two records carrying the same data
+    are the same record regardless of when they were ingested.
+    """
 
     t: float
     value: T
     key: str | None = None
+    ingest_wall_s: float | None = field(default=None, compare=False)
 
     def with_value(self, value: Any) -> "Record":
-        """A copy carrying a different payload (same time and key)."""
-        return Record(self.t, value, self.key)
+        """A copy carrying a different payload (same time, key, provenance)."""
+        return Record(self.t, value, self.key, self.ingest_wall_s)
 
     def with_key(self, key: str | None) -> "Record[T]":
         """A copy carrying a different partitioning key."""
-        return Record(self.t, self.value, key)
+        return Record(self.t, self.value, key, self.ingest_wall_s)
 
 
 @dataclass(frozen=True, slots=True)

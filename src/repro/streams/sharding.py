@@ -40,7 +40,7 @@ nothing, so the outputs are identical, only the wall clock changes.
 from __future__ import annotations
 
 import math
-from typing import Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from .broker import Broker, Consumer, Topic, _stable_hash
 from .pipeline import Pipeline, WatermarkAssigner
@@ -53,6 +53,32 @@ PipelineFactory = Callable[[], Pipeline]
 
 #: Builds one fresh watermark assigner per shard (or None for none).
 AssignerFactory = Callable[[], WatermarkAssigner]
+
+# The observability plane (``obs=`` on ShardedPipeline / run_sharded) is
+# duck-typed on purpose: the layering DAG forbids streams -> obs (obs
+# instruments streams from the outside), so this module only relies on
+# the protocol below — implemented by repro.obs.harvest.ShardedObsPlane:
+#
+#   obs.worker                      picklable per-shard recipe, with
+#     .setup(shard, pipeline) -> s    shard-local obs state (parent or worker
+#                                     process; instruments the replica)
+#     .harvest(shard, s, wall) -> h   picklable harvest of that state
+#   obs.fold(harvests)              parent-side merge, called once per run
+#
+# Only ``obs.worker`` ever crosses the fork boundary.
+
+
+def critical_path_speedup(walls: Sequence[float]) -> float:
+    """Aggregate shard compute over the slowest shard.
+
+    The speedup an N-core schedule of these shard walls achieves —
+    runner-independent: it measures routing balance, not machine
+    parallelism. ``0.0`` when no shard reported a positive wall.
+    """
+    slowest = max(walls, default=0.0)
+    if slowest <= 0.0:
+        return 0.0
+    return sum(walls) / slowest
 
 
 def shard_index(key: str, n_shards: int) -> int:
@@ -179,6 +205,7 @@ class ShardedPipeline:
         factory: PipelineFactory,
         n_shards: int,
         watermark_factory: AssignerFactory | None = None,
+        obs: Any = None,
     ):
         if n_shards < 1:
             raise ValueError("a sharded pipeline needs at least one shard")
@@ -188,6 +215,12 @@ class ShardedPipeline:
         self.assigners = (
             [watermark_factory() for _ in range(n_shards)]
             if watermark_factory is not None
+            else None
+        )
+        self.obs = obs  # duck-typed observability plane, see module comment
+        self._shard_obs = (
+            [obs.worker.setup(i, p) for i, p in enumerate(self.pipelines)]
+            if obs is not None
             else None
         )
         self._finished = False
@@ -219,6 +252,13 @@ class ShardedPipeline:
                 out.extend(r for r in pipeline.push(wm) if isinstance(r, Record))
             out.extend(pipeline.flush())
             per_shard.append(out)
+        if self.obs is not None and self._shard_obs is not None:
+            self.obs.fold(
+                [
+                    self.obs.worker.harvest(shard, state, self.pipelines[shard].wall_seconds)
+                    for shard, state in enumerate(self._shard_obs)
+                ]
+            )
         return merge_shard_outputs(per_shard)
 
     def run_to_end(self, elements: Iterable[StreamElement], batch_size: int | None = None) -> list[Record]:
@@ -249,11 +289,7 @@ class ShardedPipeline:
         """Aggregate shard compute over the slowest shard: the speedup an
         N-core schedule of these shards achieves (runner-independent —
         it measures routing balance, not machine parallelism)."""
-        walls = self.wall_seconds()
-        slowest = max(walls, default=0.0)
-        if slowest <= 0.0:
-            return 0.0
-        return sum(walls) / slowest
+        return critical_path_speedup(self.wall_seconds())
 
 
 def drain_sharded(
@@ -296,14 +332,28 @@ def drain_sharded(
 
 
 def _run_one_shard(
-    payload: tuple[PipelineFactory, list[StreamElement], AssignerFactory | None, int | None],
-) -> tuple[list[Record], float]:
-    """Worker body of the process-parallel path: build, run, report wall."""
-    factory, elements, watermark_factory, batch_size = payload
+    payload: tuple[
+        PipelineFactory, list[StreamElement], AssignerFactory | None, int | None, int, Any
+    ],
+) -> tuple[list[Record], float, Any]:
+    """Worker body of the process-parallel path: build, run, harvest.
+
+    Returns the shard's output records, its wall seconds, and — when an
+    obs worker rode along — a picklable :class:`~repro.obs.harvest.
+    ObsHarvest` of everything the shard measured, so the parent can fold
+    it instead of losing it with the process.
+    """
+    factory, elements, watermark_factory, batch_size, shard, obs_worker = payload
     pipeline = factory()
+    shard_obs = obs_worker.setup(shard, pipeline) if obs_worker is not None else None
     assigner = watermark_factory() if watermark_factory is not None else None
     out = pipeline.run(elements, watermarks=assigner, flush=True, batch_size=batch_size)
-    return out, pipeline.wall_seconds
+    harvest = (
+        obs_worker.harvest(shard, shard_obs, pipeline.wall_seconds)
+        if obs_worker is not None
+        else None
+    )
+    return out, pipeline.wall_seconds, harvest
 
 
 def run_sharded(
@@ -314,6 +364,7 @@ def run_sharded(
     batch_size: int | None = None,
     parallel: bool = False,
     processes: int | None = None,
+    obs: Any = None,
 ) -> list[Record]:
     """One-shot sharded execution of a bounded stream; returns merged output.
 
@@ -324,14 +375,29 @@ def run_sharded(
     and ``watermark_factory`` must then be module-level callables and the
     record values picklable. With ``n_shards=1`` both paths reduce to the
     plain unsharded :meth:`Pipeline.run`.
+
+    ``obs`` takes a duck-typed observability plane (see module comment;
+    concretely :class:`repro.obs.harvest.ShardedObsPlane`): both paths
+    instrument each shard replica, harvest its metrics/events/traces and
+    fold them into the plane's parent-side registry — including each
+    shard's wall seconds as ``shard.<i>.wall_s``, so the critical-path
+    speedup is computable on the parallel path too.
     """
     if not parallel:
-        sharded = ShardedPipeline(factory, n_shards, watermark_factory=watermark_factory)
+        sharded = ShardedPipeline(
+            factory, n_shards, watermark_factory=watermark_factory, obs=obs
+        )
         return sharded.run_to_end(elements, batch_size=batch_size)
     import multiprocessing
 
     routed = ShardRouter(n_shards).route(elements)
-    payloads = [(factory, shard_elements, watermark_factory, batch_size) for shard_elements in routed]
+    obs_worker = obs.worker if obs is not None else None
+    payloads = [
+        (factory, shard_elements, watermark_factory, batch_size, shard, obs_worker)
+        for shard, shard_elements in enumerate(routed)
+    ]
     with multiprocessing.Pool(processes=processes or n_shards) as pool:
         results = pool.map(_run_one_shard, payloads)
-    return merge_shard_outputs([out for out, _ in results])
+    if obs is not None:
+        obs.fold([harvest for _, _, harvest in results if harvest is not None])
+    return merge_shard_outputs([out for out, _, _ in results])

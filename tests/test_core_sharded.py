@@ -128,6 +128,93 @@ class TestShardObservability:
         assert "sharded_run_started" in kinds and "sharded_run_finished" in kinds
 
 
+class TestHarvestFold:
+    """The distributed obs plane over the Figure-2 shard replicas."""
+
+    def nonshard_counters(self, layer):
+        return {
+            name: value
+            for name, value in layer.metrics.counters().items()
+            if not name.startswith("shard.")
+        }
+
+    def test_folded_counters_equal_single_shard_oracle(self, fixes):
+        oracle = ShardedRealtimeLayer(SystemConfig(n_shards=1))
+        sharded = ShardedRealtimeLayer(SystemConfig(n_shards=3))
+        oracle.run(list(fixes))
+        sharded.run(list(fixes))
+        assert self.nonshard_counters(sharded) == self.nonshard_counters(oracle)
+
+    def test_per_shard_counter_families_sum_to_merged(self, fixes):
+        sharded = ShardedRealtimeLayer(SystemConfig(n_shards=3))
+        sharded.run(list(fixes))
+        counters = sharded.metrics.counters()
+        for family in ("op.clean.records_in", "stage.raw.records"):
+            parts = sum(
+                counters.get(f"shard.{i}.{family}", 0) for i in range(3)
+            )
+            assert parts == counters[family] > 0
+
+    def test_e2e_record_latency_on_merged_stream(self, fixes):
+        sharded = ShardedRealtimeLayer(SystemConfig(n_shards=2))
+        sharded.run(list(fixes))
+        e2e = sharded.metrics.histogram("e2e.record_latency_s")
+        assert e2e.count > 0
+        assert 0.0 <= e2e.min and e2e.max < 60.0  # wall stamps, not event time
+
+    def test_repeated_runs_fold_deltas_not_cumulative_state(self, fixes):
+        """Replicas are long-lived, so each run must fold the *increment*
+        of their cumulative registries — a cumulative (non-delta) fold
+        would make ``shard.<i>.<name>`` overshoot the replica's own
+        counter after the second run."""
+        sharded = ShardedRealtimeLayer(SystemConfig(n_shards=2))
+        for _ in range(2):
+            sharded.run(list(fixes))
+            merged = sharded.metrics.counters()
+            for i, shard in enumerate(sharded.shards):
+                for name, value in shard.metrics.counters().items():
+                    assert merged.get(f"shard.{i}.{name}", 0) == value, name
+        # Stateless ingest families double exactly with the input; the
+        # merged family is fold (= replica sum) + the parent's own count.
+        assert merged["stage.raw.records"] == 2 * len(fixes)
+        assert merged["op.clean.records_in"] == sum(
+            merged[f"shard.{i}.op.clean.records_in"] for i in range(2)
+        )
+
+    def test_shard_events_merged_with_origin_tags(self, fixes):
+        sharded = ShardedRealtimeLayer(SystemConfig(n_shards=2))
+        sharded.run(list(fixes))
+        tagged = [e for e in sharded.events.events() if "shard" in e.tags]
+        assert tagged
+        assert {e.tags["shard"] for e in tagged} <= {0, 1}
+
+    def test_shard_traces_rehomed_under_sharded_run_root(self, fixes):
+        sharded = ShardedRealtimeLayer(SystemConfig(n_shards=2))
+        sharded.run(list(fixes))
+        roots = [sp for sp in sharded.tracer.spans() if sp.name == "sharded.run"]
+        assert len(roots) == 1
+        sharded.run(list(fixes))
+        roots = [sp for sp in sharded.tracer.spans() if sp.name == "sharded.run"]
+        assert len(roots) == 2  # one synthetic root per run
+
+    def test_export_carries_shard_labels_and_e2e(self, fixes):
+        from repro.obs import parse_openmetrics, render_openmetrics
+
+        sharded = ShardedRealtimeLayer(SystemConfig(n_shards=2))
+        sharded.run(list(fixes))
+        families = parse_openmetrics(render_openmetrics(sharded.metrics.snapshot()))
+        clean = families["shard_op_clean_records_in"]["samples"]
+        merged = families["op_clean_records_in"]["samples"]["op_clean_records_in_total"]
+        assert sum(clean.values()) == merged
+        assert 'shard_op_clean_records_in_total{shard="0"}' in clean
+        assert "e2e_record_latency_s" in families
+
+    def test_critical_path_speedup_positive(self, fixes):
+        sharded = ShardedRealtimeLayer(SystemConfig(n_shards=3))
+        sharded.run(list(fixes))
+        assert sharded.critical_path_speedup() > 1.0
+
+
 class TestPlainLayerProximityKnob:
     def test_disabled_proximity_reports_no_proximity_links(self, fixes):
         layer = RealtimeLayer(

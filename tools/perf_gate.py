@@ -29,6 +29,18 @@ The budget file's ``throughput`` section declares floors over
 floors compare *ratios* of two runs on the same machine, so they are
 runner-independent — they are ENFORCED even under ``--warn-only``.
 
+The ``consistency`` section checks harvest completeness over one
+snapshot: a merged metric must equal the sum of all samples matching a
+per-shard glob in the same snapshot::
+
+    {"consistency": [{"bench": "test_sharded_observability",
+                      "merged": "counters.op.clean.records_in",
+                      "parts": "counters.shard.*.op.clean.records_in"}]}
+
+Exact count equality is machine-independent (the merge either lost
+records or it did not), so consistency violations are ENFORCED even
+under ``--warn-only``, like throughput floors.
+
 Exit codes: 0 when every budget holds (missing benches/metrics only
 warn — a partial bench run must not fail the gate), 1 on any violation.
 ``--warn-only`` reports latency/counter budget violations but still
@@ -39,6 +51,7 @@ violations fail regardless.
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import json
 import math
 import sys
@@ -111,6 +124,57 @@ def check(results: dict, budget: dict) -> tuple[list[str], list[str]]:
     return violations, warnings
 
 
+def resolve_glob_sum(snapshot: dict, path: str) -> tuple[float, int]:
+    """Sum every metric of a snapshot section matching a glob path.
+
+    ``path`` is ``<section>.<pattern>``; returns ``(sum, n_matches)``.
+    """
+    section, _, pattern = path.partition(".")
+    if section not in ("counters", "gauges"):
+        raise ValueError(f"consistency parts path must be counters.* or gauges.*: {path!r}")
+    table = snapshot.get(section, {})
+    values = [v for name, v in table.items() if fnmatch.fnmatchcase(name, pattern)]
+    return sum(values), len(values)
+
+
+def check_consistency(results: dict, budget: dict) -> tuple[list[str], list[str]]:
+    """Evaluate harvest-completeness entries; returns (violations, warnings).
+
+    Exact merged-equals-sum-of-parts equality is machine-independent, so
+    these violations are enforced regardless of ``--warn-only``.
+    """
+    violations: list[str] = []
+    warnings: list[str] = []
+    benches = results.get("benches", {})
+    for entry in budget.get("consistency", []):
+        pattern = entry["bench"]
+        label = f"consistency :: {pattern} :: {entry['merged']}"
+        match = find_bench(benches, pattern)
+        if match is None:
+            warnings.append(f"{label}: no bench matching {pattern!r} in results")
+            continue
+        nodeid, snapshot = match
+        merged = resolve_metric(snapshot, entry["merged"])
+        if merged is None or (isinstance(merged, float) and math.isnan(merged)):
+            warnings.append(f"{label}: merged metric absent in {nodeid}")
+            continue
+        parts_sum, n_parts = resolve_glob_sum(snapshot, entry["parts"])
+        if n_parts == 0:
+            violations.append(
+                f"{label}: no per-shard samples match {entry['parts']!r} in {nodeid} "
+                f"— the harvest fold lost every shard"
+            )
+            continue
+        tolerance = float(entry.get("tolerance", 0.0))
+        if abs(merged - parts_sum) > tolerance:
+            note = f" ({entry['note']})" if entry.get("note") else ""
+            violations.append(
+                f"{label}: merged {merged:g} != sum of {n_parts} shard parts "
+                f"{parts_sum:g}{note} [{nodeid}]"
+            )
+    return violations, warnings
+
+
 def resolve_path(document: dict, path: str) -> float | None:
     """Walk a dotted path through nested dicts; ``None`` when absent."""
     node = document
@@ -169,18 +233,23 @@ def main(argv: list[str] | None = None) -> int:
     violations: list[str] = []
     warnings: list[str] = []
     n_checked = 0
+    hard_violations: list[str] = []
     if args.results.exists():
         results = json.loads(args.results.read_text())
         violations, warnings = check(results, budget)
         n_checked = len(budget.get("budgets", []))
+        if budget.get("consistency"):
+            hard_violations, c_warnings = check_consistency(results, budget)
+            warnings.extend(c_warnings)
+            n_checked += len(budget["consistency"])
     else:
         print(f"perf-gate: results file {args.results} missing — skipping budgets")
 
-    hard_violations: list[str] = []
     if budget.get("throughput"):
         if args.throughput_results.exists():
             throughput = json.loads(args.throughput_results.read_text())
-            hard_violations, t_warnings = check_throughput(throughput, budget)
+            t_violations, t_warnings = check_throughput(throughput, budget)
+            hard_violations.extend(t_violations)
             warnings.extend(t_warnings)
             n_checked += len(budget["throughput"])
         else:
