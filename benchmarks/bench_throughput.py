@@ -10,6 +10,13 @@ inputs and asserting the outputs match:
 * **pushdown** — the E5 star join with a spatio-temporal constraint on
   the scaled AIS corpus (~0.5M triples): ``KGStore.execute`` with the
   scalar scan (``vectorized=False``) vs the columnar scan.
+* **geo pip** — point-in-polygon verdicts over vertex-heavy region
+  boundaries: the scalar ``Polygon.contains`` loop vs
+  ``Polygon.contains_batch`` (the ``repro.geo.kernels`` batch path),
+  asserting bit-for-bit identical verdicts.
+* **link discovery** — ``RegionLinkDiscoverer.discover`` per-fix
+  (``vectorized=False``) vs the batched mask-prune + cell-grouped
+  refinement path, asserting identical link sets and prune verdicts.
 * **sharded** — a keyed windowing pipeline on the single-shard oracle
   vs ``N_SHARDS`` key-partitioned replicas (``repro.streams.sharding``),
   asserting the canonically merged outputs are identical. The gated
@@ -43,8 +50,9 @@ from time import perf_counter
 import pytest
 
 from repro.core import ShardedRealtimeLayer, SystemConfig
-from repro.datasources import AISConfig, AISSimulator, DEFAULT_BBOX
-from repro.geo import BBox
+from repro.datasources import AISConfig, AISSimulator, DEFAULT_BBOX, generate_regions
+from repro.geo import BBox, PositionFix
+from repro.linkdiscovery import RegionLinkDiscoverer
 from repro.kgstore import KGStore, STConstraint, star
 from repro.obs import MetricsRegistry, harvest_obs
 from repro.rdf import A, VOC, var
@@ -246,6 +254,162 @@ def test_pushdown_scan_vectorized(store, console, benchmark, emit_metrics):
     assert speedup > 3.0, f"vectorized pushdown scan only {speedup:.2f}x faster"
     benchmark(lambda: kg.execute(query, pushdown=True, vectorized=True)[1].results)
     emit_metrics(registry, benchmark, title="kgstore scan throughput (columnar fast path)")
+
+
+# -- geo: scalar vs batched point-in-polygon ---------------------------------------
+
+PIP_POLYGONS = 40
+PIP_POINTS_PER_POLYGON = 1_500
+
+
+@pytest.fixture(scope="module")
+def pip_workload():
+    """Vertex-heavy polygons with probe points concentrated in their bboxes."""
+    import numpy as np
+
+    regions = generate_regions(PIP_POLYGONS, seed=42, vertex_range=(48, 192))
+    rng = random.Random(7)
+    workload = []
+    for region in regions:
+        box = region.polygon.bbox
+        lons = np.asarray(
+            [rng.uniform(box.min_lon, box.max_lon) for _ in range(PIP_POINTS_PER_POLYGON)]
+        )
+        lats = np.asarray(
+            [rng.uniform(box.min_lat, box.max_lat) for _ in range(PIP_POINTS_PER_POLYGON)]
+        )
+        workload.append((region.polygon, lons, lats))
+    return workload
+
+
+def test_geo_pip_vectorized(pip_workload, console, benchmark, emit_metrics):
+    scalar_times: list[float] = []
+    batch_times: list[float] = []
+    for _ in range(3):
+        start = perf_counter()
+        scalar_verdicts = [
+            [polygon.contains(x, y) for x, y in zip(lons.tolist(), lats.tolist())]
+            for polygon, lons, lats in pip_workload
+        ]
+        scalar_times.append(perf_counter() - start)
+        start = perf_counter()
+        batch_verdicts = [
+            polygon.contains_batch(lons, lats) for polygon, lons, lats in pip_workload
+        ]
+        batch_times.append(perf_counter() - start)
+        # Bit-for-bit identical verdicts, boundary cases included.
+        for got, want in zip(batch_verdicts, scalar_verdicts):
+            assert got.tolist() == want
+    scalar_s = statistics.median(scalar_times)
+    batch_s = statistics.median(batch_times)
+    speedup = scalar_s / batch_s
+    n_tests = PIP_POLYGONS * PIP_POINTS_PER_POLYGON
+    _RESULTS["geo"] = {
+        "pip": {
+            "polygons": PIP_POLYGONS,
+            "points": n_tests,
+            "scalar_s": scalar_s,
+            "batch_s": batch_s,
+            "speedup": speedup,
+        }
+    }
+    path = _persist()
+    registry = MetricsRegistry()
+    registry.gauge("throughput.geo.pip.scalar_tests_s").set(n_tests / scalar_s)
+    registry.gauge("throughput.geo.pip.batch_tests_s").set(n_tests / batch_s)
+    registry.gauge("throughput.geo.pip.speedup").set(speedup)
+    with console():
+        print(format_table(
+            f"Point-in-polygon, {n_tests:,} tests over {PIP_POLYGONS} vertex-heavy polygons",
+            ["path", "wall", "tests/s"],
+            [
+                ["scalar contains loop", f"{scalar_s * 1e3:.0f} ms", f"{n_tests / scalar_s:,.0f}"],
+                ["contains_batch", f"{batch_s * 1e3:.0f} ms", f"{n_tests / batch_s:,.0f}"],
+            ],
+            width=22,
+        ))
+        print(f"speedup: {speedup:.2f}x  -> {path.name}")
+    assert speedup > 3.0, f"batched point-in-polygon only {speedup:.2f}x faster"
+    benchmark(lambda: [
+        polygon.contains_batch(lons, lats) for polygon, lons, lats in pip_workload
+    ])
+    emit_metrics(registry, benchmark, title="geo point-in-polygon (batch kernels)")
+
+
+# -- link discovery: per-fix refinement loop vs batched discover -------------------
+
+LD_REGIONS = 1_500
+LD_FIXES = 8_000
+
+
+@pytest.fixture(scope="module")
+def linkdiscovery_workload():
+    """The bench_link_discovery traffic shape at throughput-bench scale."""
+    regions = generate_regions(LD_REGIONS, seed=42, vertex_range=(24, 96))
+    rng = random.Random(99)
+    fixes = []
+    for i in range(LD_FIXES):
+        if rng.random() < 0.7:
+            cx, cy = rng.choice(regions).polygon.centroid()
+            lon, lat = cx + rng.gauss(0.0, 0.25), cy + rng.gauss(0.0, 0.2)
+        else:
+            lon = rng.uniform(DEFAULT_BBOX.min_lon, DEFAULT_BBOX.max_lon)
+            lat = rng.uniform(DEFAULT_BBOX.min_lat, DEFAULT_BBOX.max_lat)
+        lon = min(max(lon, DEFAULT_BBOX.min_lon), DEFAULT_BBOX.max_lon)
+        lat = min(max(lat, DEFAULT_BBOX.min_lat), DEFAULT_BBOX.max_lat)
+        fixes.append(PositionFix(entity_id=f"v{i % 200}", t=float(i), lon=lon, lat=lat))
+    return regions, fixes
+
+
+def test_linkdiscovery_vectorized(linkdiscovery_workload, console, benchmark, emit_metrics):
+    regions, fixes = linkdiscovery_workload
+    make = lambda: RegionLinkDiscoverer(  # noqa: E731
+        regions, DEFAULT_BBOX, cell_deg=0.5, near_threshold_m=10_000.0, use_masks=True
+    )
+    scalar_ld, batch_ld = make(), make()
+    scalar_times: list[float] = []
+    batch_times: list[float] = []
+    for _ in range(3):
+        start = perf_counter()
+        scalar_result = scalar_ld.discover(fixes, vectorized=False)
+        scalar_times.append(perf_counter() - start)
+        start = perf_counter()
+        batch_result = batch_ld.discover(fixes, vectorized=True)
+        batch_times.append(perf_counter() - start)
+        # Identical link sets (distances bit-for-bit) and prune verdicts.
+        assert set(batch_result.links) == set(scalar_result.links)
+        assert batch_result.mask_pruned == scalar_result.mask_pruned
+        assert batch_result.refinements == scalar_result.refinements
+    scalar_s = statistics.median(scalar_times)
+    batch_s = statistics.median(batch_times)
+    speedup = scalar_s / batch_s
+    _RESULTS["linkdiscovery"] = {
+        "regions": LD_REGIONS,
+        "fixes": LD_FIXES,
+        "links": len(batch_result.links),
+        "scalar_s": scalar_s,
+        "batch_s": batch_s,
+        "speedup": speedup,
+    }
+    path = _persist()
+    registry = MetricsRegistry()
+    registry.gauge("throughput.linkdiscovery.scalar_fixes_s").set(LD_FIXES / scalar_s)
+    registry.gauge("throughput.linkdiscovery.batch_fixes_s").set(LD_FIXES / batch_s)
+    registry.gauge("throughput.linkdiscovery.speedup").set(speedup)
+    with console():
+        print(format_table(
+            f"Region link discovery, {LD_FIXES:,} fixes against {LD_REGIONS:,} regions",
+            ["path", "wall", "fixes/s"],
+            [
+                ["per-fix links_for", f"{scalar_s * 1e3:.0f} ms", f"{LD_FIXES / scalar_s:,.0f}"],
+                ["batched discover", f"{batch_s * 1e3:.0f} ms", f"{LD_FIXES / batch_s:,.0f}"],
+            ],
+            width=22,
+        ))
+        print(f"speedup: {speedup:.2f}x  -> {path.name}")
+    assert speedup > 2.0, f"batched link discovery only {speedup:.2f}x faster"
+    benchmark(lambda: batch_ld.discover(fixes, vectorized=True))
+    emit_metrics(registry, benchmark, title="link discovery (batched mask-prune + refine)")
 
 
 # -- sharded substrate: single-shard oracle vs N keyed shards ----------------------

@@ -19,7 +19,14 @@ convention load-bearing:
   in-process twin still exists) and be named by a test exercising
   ``parallel=False``, and anything taking ``n_shards`` must be named
   by a test that also constructs the ``n_shards=1`` single-shard
-  oracle — the equivalence baseline sharded runs are checked against.
+  oracle — the equivalence baseline sharded runs are checked against;
+* in subpackages that opt in via ``[dual_path]
+  batch_suffix_packages`` in ``tools/layering.toml`` (the geo and
+  link-discovery kernel layers), every public ``*_batch``
+  function/method must have a scalar twin somewhere in src — the name
+  with ``_batch`` stripped, optionally underscore-private or with a
+  plural token singularized (``cell_ids_batch`` -> ``cell_id``) — and
+  must be named by at least one test (the equivalence suite).
 """
 
 from __future__ import annotations
@@ -44,13 +51,27 @@ class DualPathChecker(Checker):
         findings: list[Finding] = []
         tests = project.realm("tests")
         parents = self._class_parents(project)
+        all_defs = self._all_function_names(project)
         for source in project.realm("src"):
             if source.tree is None:
                 continue
             findings.extend(self._vectorized_functions(source, tests))
             findings.extend(self._batched_operators(source, tests, parents))
             findings.extend(self._sharded_symbols(source, tests))
+            findings.extend(self._batch_suffix_functions(source, tests, all_defs, config))
         return findings
+
+    @staticmethod
+    def _all_function_names(project: Project) -> set[str]:
+        """Every function/method name defined anywhere in src."""
+        names: set[str] = set()
+        for src in project.realm("src"):
+            if src.tree is None:
+                continue
+            for node in ast.walk(src.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    names.add(node.name)
+        return names
 
     @staticmethod
     def _class_parents(project: Project) -> dict[str, list[str]]:
@@ -98,6 +119,63 @@ class DualPathChecker(Checker):
                     f"{symbol}() has a vectorized fast path but no test "
                     f"references {anchor} with vectorized=False — the "
                     f"scalar/vectorized equivalence is unverified",
+                    symbol=f"{source.module}.{symbol}",
+                )
+
+    # -- _batch suffix kernels (geo / link-discovery layers) -----------------------
+
+    @staticmethod
+    def _twin_candidates(batch_name: str) -> set[str]:
+        """Acceptable scalar-twin names for a ``*_batch`` symbol."""
+        base = batch_name[: -len("_batch")]
+        candidates = {base, "_" + base}
+        singular = "_".join(
+            tok[:-1] if len(tok) > 1 and tok.endswith("s") and not tok.endswith("ss") else tok
+            for tok in base.split("_")
+        )
+        candidates.update({singular, "_" + singular})
+        return candidates
+
+    def _batch_suffix_functions(
+        self,
+        source: SourceFile,
+        tests: list[SourceFile],
+        all_defs: set[str],
+        config: AnalysisConfig,
+    ):
+        dual = config.dual_path
+        if dual is None or not dual.batch_suffix_packages:
+            return
+        parts = source.module.split(".")
+        if len(parts) < 2 or parts[1] not in dual.batch_suffix_packages:
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_") or not node.name.endswith("_batch"):
+                continue
+            owner = self._enclosing_class(source, node)
+            symbol = f"{owner}.{node.name}" if owner else node.name
+            if not (self._twin_candidates(node.name) & all_defs):
+                yield self.finding(
+                    "error",
+                    source.relpath,
+                    node.lineno,
+                    node.col_offset,
+                    f"{symbol}() is a batch kernel but no scalar twin "
+                    f"({node.name[:-len('_batch')]}) exists anywhere in src — "
+                    f"the equivalence oracle is gone",
+                    symbol=f"{source.module}.{symbol}",
+                )
+                continue
+            if not any(node.name in t.text for t in tests):
+                yield self.finding(
+                    "error",
+                    source.relpath,
+                    node.lineno,
+                    node.col_offset,
+                    f"{symbol}() is a batch kernel but no test references "
+                    f"{node.name} — the batch/scalar equivalence is unverified",
                     symbol=f"{source.module}.{symbol}",
                 )
 

@@ -5,6 +5,7 @@ knowledge-graph store's encoding, prediction errors, VA densities —
 is built on this package.
 """
 
+from . import kernels
 from .geometry import (
     BBox,
     GeoPoint,
@@ -13,6 +14,7 @@ from .geometry import (
     destination_point,
     haversine_m,
     initial_bearing_deg,
+    polygon_boundary_distance_m,
     segments_intersect,
 )
 from .grid import Cell, EquiGrid, SpatioTemporalGrid
@@ -22,7 +24,9 @@ from .trajectory import (
     cross_track_error_m,
     group_fixes_by_entity,
     mean_sampling_period,
+    segment_speeds_mps,
     split_on_gaps,
+    turn_rates_deg_s,
 )
 from .units import (
     EARTH_RADIUS_M,
@@ -69,6 +73,7 @@ __all__ = [
     "haversine_m",
     "heading_difference",
     "initial_bearing_deg",
+    "kernels",
     "knots_to_ms",
     "linestring_to_wkt",
     "m_to_feet",
@@ -82,7 +87,10 @@ __all__ = [
     "parse_point",
     "parse_polygon",
     "point_to_wkt",
+    "polygon_boundary_distance_m",
+    "segment_speeds_mps",
     "segments_intersect",
     "polygon_to_wkt",
     "split_on_gaps",
+    "turn_rates_deg_s",
 ]

@@ -17,6 +17,9 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
+from . import kernels
 from .units import EARTH_RADIUS_M, deg_to_rad, metres_per_degree_lat, metres_per_degree_lon, rad_to_deg
 
 
@@ -111,6 +114,20 @@ class LocalProjection:
         """Inverse projection from local metres back to lon/lat degrees."""
         return self.origin_lon + x / self._mx, self.origin_lat + y / self._my
 
+    def to_xy_batch(self, lons, lats) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`to_xy`: project coordinate arrays in one pass.
+
+        Uses the same precomputed scale factors as the scalar twin, so
+        the projected metres are bit-for-bit identical per element.
+        """
+        lon, lat = kernels.as_lonlat(lons, lats)
+        return (lon - self.origin_lon) * self._mx, (lat - self.origin_lat) * self._my
+
+    def to_lonlat_batch(self, xs, ys) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`to_lonlat`; bit-for-bit twin of the scalar inverse."""
+        x, y = kernels.as_lonlat(xs, ys)
+        return self.origin_lon + x / self._mx, self.origin_lat + y / self._my
+
 
 @dataclass(frozen=True, slots=True)
 class BBox:
@@ -140,6 +157,11 @@ class BBox:
     def contains(self, lon: float, lat: float) -> bool:
         """Whether the point lies inside (inclusive of edges)."""
         return self.min_lon <= lon <= self.max_lon and self.min_lat <= lat <= self.max_lat
+
+    def contains_batch(self, lons, lats) -> np.ndarray:
+        """Vectorized :meth:`contains`; bit-for-bit twin (pure comparisons)."""
+        lon, lat = kernels.as_lonlat(lons, lats)
+        return (self.min_lon <= lon) & (lon <= self.max_lon) & (self.min_lat <= lat) & (lat <= self.max_lat)
 
     def intersects(self, other: "BBox") -> bool:
         """Whether the two boxes overlap (touching counts)."""
@@ -192,7 +214,7 @@ class Polygon:
     polygon-bbox overlap, and distance from a point to the boundary.
     """
 
-    __slots__ = ("vertices", "bbox", "_holes")
+    __slots__ = ("vertices", "bbox", "_holes", "_edges_np")
 
     def __init__(self, vertices: Sequence[tuple[float, float]], holes: Sequence[Sequence[tuple[float, float]]] = ()):
         pts = [(float(lon), float(lat)) for lon, lat in vertices]
@@ -208,6 +230,7 @@ class Polygon:
             [(float(lon), float(lat)) for lon, lat in ring] for ring in holes
         ]
         self.bbox = BBox.of_points(pts)
+        self._edges_np: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] | None = None
 
     def __len__(self) -> int:
         return len(self.vertices)
@@ -236,6 +259,33 @@ class Polygon:
             return False
         return not any(_ring_contains(ring, lon, lat) for ring in self._holes)
 
+    def _edge_arrays(self) -> list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """Lazily built per-ring edge arrays (outer ring first) for batch PIP."""
+        if self._edges_np is None:
+            self._edges_np = kernels.rings_to_arrays([self.vertices, *self._holes])
+        return self._edges_np
+
+    def contains_batch(self, lons, lats) -> np.ndarray:
+        """Vectorized :meth:`contains`: bbox prefilter, then exact even-odd.
+
+        Bit-for-bit twin of the scalar path — the predicate is pure
+        arithmetic, so the verdict array equals a per-point loop exactly.
+        """
+        lon, lat = kernels.as_lonlat(lons, lats)
+        verdict = self.bbox.contains_batch(lon, lat)
+        if verdict.any():
+            verdict[verdict] = self.contains_exact_batch(lon[verdict], lat[verdict])
+        return verdict
+
+    def contains_exact_batch(self, lons, lats) -> np.ndarray:
+        """Vectorized :meth:`contains_exact` (no bbox shortcut); holes excluded."""
+        lon, lat = kernels.as_lonlat(lons, lats)
+        rings = self._edge_arrays()
+        inside = kernels.ring_contains_batch(rings[0], lon, lat)
+        for hole in rings[1:]:
+            inside &= ~kernels.ring_contains_batch(hole, lon, lat)
+        return inside
+
     def area_deg2(self) -> float:
         """Signed shoelace area in square degrees (holes subtracted), absolute value."""
         area = abs(_ring_area(self.vertices))
@@ -258,14 +308,16 @@ class Polygon:
         """Distance from the point to the polygon, in metres (0 if inside)."""
         if self.contains(lon, lat):
             return 0.0
-        proj = LocalProjection(lon, lat)
-        px, py = 0.0, 0.0
-        best = math.inf
-        for (ax, ay), (bx, by) in self.edges():
-            x1, y1 = proj.to_xy(ax, ay)
-            x2, y2 = proj.to_xy(bx, by)
-            best = min(best, _point_segment_distance(px, py, x1, y1, x2, y2))
-        return best
+        return polygon_boundary_distance_m(self, lon, lat)
+
+    def distance_to_point_m_batch(self, lons, lats) -> np.ndarray:
+        """Vectorized :meth:`distance_to_point_m` (0.0 for interior points)."""
+        lon, lat = kernels.as_lonlat(lons, lats)
+        out = np.zeros(lon.shape, dtype=np.float64)
+        outside = ~self.contains_batch(lon, lat)
+        if outside.any():
+            out[outside] = kernels.polygon_boundary_distance_m_batch(self, lon[outside], lat[outside])
+        return out
 
     def intersects_bbox(self, box: BBox) -> bool:
         """Whether the polygon overlaps the bbox (conservative exact test)."""
@@ -327,15 +379,40 @@ def _ring_area(ring: Sequence[tuple[float, float]]) -> float:
     return area / 2.0
 
 
+def polygon_boundary_distance_m(polygon: Polygon, lon: float, lat: float) -> float:
+    """Distance in metres from the point to the polygon's outer boundary.
+
+    The raw edge loop with no interior shortcut — the scalar oracle for
+    ``kernels.polygon_boundary_distance_m_batch``. Each query point gets
+    its own local ENU frame, so distances stay metre-accurate regardless
+    of where the polygon sits.
+    """
+    proj = LocalProjection(lon, lat)
+    px, py = 0.0, 0.0
+    best = math.inf
+    for (ax, ay), (bx, by) in polygon.edges():
+        x1, y1 = proj.to_xy(ax, ay)
+        x2, y2 = proj.to_xy(bx, by)
+        best = min(best, _point_segment_distance(px, py, x1, y1, x2, y2))
+    return best
+
+
 def _point_segment_distance(px: float, py: float, x1: float, y1: float, x2: float, y2: float) -> float:
-    """Euclidean distance from point (px,py) to segment (x1,y1)-(x2,y2)."""
+    """Euclidean distance from point (px,py) to segment (x1,y1)-(x2,y2).
+
+    The norm is spelled ``sqrt(ex*ex + ey*ey)`` rather than ``hypot`` so
+    the batch kernel (numpy has no fused hypot matching the libm one)
+    reproduces it bit-for-bit.
+    """
     dx, dy = x2 - x1, y2 - y1
     seg2 = dx * dx + dy * dy
     if seg2 <= 0.0:
-        return math.hypot(px - x1, py - y1)
+        ex, ey = px - x1, py - y1
+        return math.sqrt(ex * ex + ey * ey)
     t = ((px - x1) * dx + (py - y1) * dy) / seg2
     t = min(1.0, max(0.0, t))
-    return math.hypot(px - (x1 + t * dx), py - (y1 + t * dy))
+    ex, ey = px - (x1 + t * dx), py - (y1 + t * dy)
+    return math.sqrt(ex * ex + ey * ey)
 
 
 def _orient(ax: float, ay: float, bx: float, by: float, cx: float, cy: float) -> float:

@@ -18,6 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
+import numpy as np
+
+from . import kernels
 from .geometry import BBox, Polygon
 from .units import metres_per_degree_lat, metres_per_degree_lon
 
@@ -82,6 +85,25 @@ class EquiGrid:
         col, row = self.locate(lon, lat)
         return row * self.cols + col
 
+    def locate_batch(self, lons, lats) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`locate`: (col, row) int64 arrays, clamped.
+
+        Truncation uses ``astype(int64)`` (toward zero) to match the
+        scalar ``int()`` exactly, including for out-of-grid fixes whose
+        pre-clamp index is negative.
+        """
+        lon, lat = kernels.as_lonlat(lons, lats)
+        col = ((lon - self.bbox.min_lon) / self._dx).astype(np.int64)
+        row = ((lat - self.bbox.min_lat) / self._dy).astype(np.int64)
+        np.clip(col, 0, self.cols - 1, out=col)
+        np.clip(row, 0, self.rows - 1, out=row)
+        return col, row
+
+    def cell_ids_batch(self, lons, lats) -> np.ndarray:
+        """Vectorized :meth:`cell_id`; bit-for-bit twin of the scalar path."""
+        col, row = self.locate_batch(lons, lats)
+        return row * self.cols + col
+
     def cell_of_id(self, cell_id: int) -> Cell:
         """Materialize a Cell from its integer id."""
         if not 0 <= cell_id < len(self):
@@ -123,17 +145,138 @@ class EquiGrid:
             for col in range(c0, c1 + 1):
                 yield col, row
 
-    def rasterize_polygon(self, polygon: Polygon) -> list[int]:
+    def rasterize_polygon(self, polygon: Polygon, vectorized: bool = True) -> list[int]:
         """Ids of all cells whose box intersects the polygon.
 
         Used by link discovery to assign stationary regions to blocks and to
         build cell masks, and by the KG store to index region geometries.
+        The vectorized path evaluates the same cell-box intersection stages
+        (vertex-in-box, corner-in-polygon, edge-crossing) over all candidate
+        cells at once; the scalar per-cell loop is kept as the equivalence
+        oracle (``vectorized=False``) and returns the identical id list.
         """
-        hits: list[int] = []
-        for col, row in self.cells_overlapping_bbox(polygon.bbox):
-            if polygon.intersects_bbox(self.cell_box(col, row)):
-                hits.append(row * self.cols + col)
-        return hits
+        if not vectorized:
+            hits: list[int] = []
+            for col, row in self.cells_overlapping_bbox(polygon.bbox):
+                if polygon.intersects_bbox(self.cell_box(col, row)):
+                    hits.append(row * self.cols + col)
+            return hits
+        return self._rasterize_polygon_batch(polygon)
+
+    def _rasterize_polygon_batch(self, polygon: Polygon) -> list[int]:
+        """Numpy twin of the per-cell ``intersects_bbox`` rasterization loop.
+
+        Every stage mirrors the scalar predicate's arithmetic exactly
+        (pure products and comparisons), so the surviving cell ids equal
+        the scalar path's bit-for-bit, in the same row-major order.
+        """
+        if not self.bbox.intersects(polygon.bbox):
+            return []
+        c0, r0 = self.locate(polygon.bbox.min_lon, polygon.bbox.min_lat)
+        c1, r1 = self.locate(polygon.bbox.max_lon, polygon.bbox.max_lat)
+        cols = np.arange(c0, c1 + 1, dtype=np.int64)
+        rows = np.arange(r0, r1 + 1, dtype=np.int64)
+        # Row-major candidate cells, matching cells_overlapping_bbox order.
+        col = np.tile(cols, rows.size)
+        row = np.repeat(rows, cols.size)
+        box_min_lon = self.bbox.min_lon + col * self._dx
+        box_min_lat = self.bbox.min_lat + row * self._dy
+        box_max_lon = box_min_lon + self._dx
+        box_max_lat = box_min_lat + self._dy
+
+        verts = np.asarray(polygon.vertices, dtype=np.float64)
+        vx, vy = verts[:, 0], verts[:, 1]
+        pb = polygon.bbox
+        # Stage 0: polygon bbox vs cell box (cells_overlapping_bbox makes
+        # this vacuously true, but the scalar twin evaluates it, so we do).
+        hit = ~(
+            (pb.min_lon > box_max_lon)
+            | (pb.max_lon < box_min_lon)
+            | (pb.min_lat > box_max_lat)
+            | (pb.max_lat < box_min_lat)
+        )
+        # Stage 1: any polygon vertex inside the cell box.
+        undecided = np.flatnonzero(hit)
+        in_box = (
+            (box_min_lon[undecided, None] <= vx)
+            & (vx <= box_max_lon[undecided, None])
+            & (box_min_lat[undecided, None] <= vy)
+            & (vy <= box_max_lat[undecided, None])
+        ).any(axis=1)
+        decided_hit = np.zeros(hit.shape, dtype=bool)
+        decided_hit[undecided[in_box]] = True
+        undecided = undecided[~in_box]
+        # Stage 2: any cell corner inside the polygon.
+        if undecided.size:
+            cor_lon = np.stack(
+                [box_min_lon[undecided], box_min_lon[undecided], box_max_lon[undecided], box_max_lon[undecided]],
+                axis=1,
+            )
+            cor_lat = np.stack(
+                [box_min_lat[undecided], box_max_lat[undecided], box_min_lat[undecided], box_max_lat[undecided]],
+                axis=1,
+            )
+            corner_in = polygon.contains_batch(cor_lon.ravel(), cor_lat.ravel()).reshape(-1, 4).any(axis=1)
+            decided_hit[undecided[corner_in]] = True
+            undecided = undecided[~corner_in]
+        # Stage 3: any polygon edge crossing a cell-box edge.
+        if undecided.size:
+            crossing = self._box_edges_cross_polygon(
+                polygon,
+                box_min_lon[undecided],
+                box_min_lat[undecided],
+                box_max_lon[undecided],
+                box_max_lat[undecided],
+            )
+            decided_hit[undecided[crossing]] = True
+        ids = row * self.cols + col
+        return [int(i) for i in ids[hit & decided_hit]]
+
+    @staticmethod
+    def _box_edges_cross_polygon(
+        polygon: Polygon,
+        min_lon: np.ndarray,
+        min_lat: np.ndarray,
+        max_lon: np.ndarray,
+        max_lat: np.ndarray,
+    ) -> np.ndarray:
+        """Whether any polygon edge intersects any edge of each box.
+
+        Vectorized twin of ``geometry.segments_intersect`` over the
+        (box-edge x polygon-edge) cross product: identical orientation
+        products, proper-crossing test and collinear on-segment checks.
+        """
+        verts = np.asarray(polygon.vertices, dtype=np.float64)
+        ax, ay = verts[:, 0], verts[:, 1]
+        bx, by = np.roll(ax, -1), np.roll(ay, -1)
+        # The four box edges, in the scalar twin's corner order.
+        cx = np.stack([min_lon, min_lon, max_lon, max_lon], axis=1).reshape(-1, 1)
+        cy = np.stack([min_lat, max_lat, max_lat, min_lat], axis=1).reshape(-1, 1)
+        dx = np.stack([min_lon, max_lon, max_lon, min_lon], axis=1).reshape(-1, 1)
+        dy = np.stack([max_lat, max_lat, min_lat, min_lat], axis=1).reshape(-1, 1)
+        # Orientation products, matching geometry._orient operand order.
+        d1 = (dx - cx) * (ay - cy) - (dy - cy) * (ax - cx)
+        d2 = (dx - cx) * (by - cy) - (dy - cy) * (bx - cx)
+        d3 = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+        d4 = (bx - ax) * (dy - ay) - (by - ay) * (dx - ax)
+        proper = (((d1 > 0) & (d2 < 0)) | ((d1 < 0) & (d2 > 0))) & (
+            ((d3 > 0) & (d4 < 0)) | ((d3 < 0) & (d4 > 0))
+        )
+        lo_x, hi_x = np.minimum(cx, dx), np.maximum(cx, dx)
+        lo_y, hi_y = np.minimum(cy, dy), np.maximum(cy, dy)
+        on_cd_a = (lo_x <= ax) & (ax <= hi_x) & (lo_y <= ay) & (ay <= hi_y)
+        on_cd_b = (lo_x <= bx) & (bx <= hi_x) & (lo_y <= by) & (by <= hi_y)
+        plo_x, phi_x = np.minimum(ax, bx), np.maximum(ax, bx)
+        plo_y, phi_y = np.minimum(ay, by), np.maximum(ay, by)
+        on_ab_c = (plo_x <= cx) & (cx <= phi_x) & (plo_y <= cy) & (cy <= phi_y)
+        on_ab_d = (plo_x <= dx) & (dx <= phi_x) & (plo_y <= dy) & (dy <= phi_y)
+        touch = (
+            ((d1 == 0) & on_cd_a)
+            | ((d2 == 0) & on_cd_b)
+            | ((d3 == 0) & on_ab_c)
+            | ((d4 == 0) & on_ab_d)
+        )
+        return (proper | touch).any(axis=1).reshape(-1, 4).any(axis=1)
 
     def radius_to_cells(self, radius_m: float) -> int:
         """How many cell rings are needed to cover a metre radius.

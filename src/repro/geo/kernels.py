@@ -1,0 +1,221 @@
+"""Numpy batch kernels for the geo layer (the vectorized fast path).
+
+The paper's E4 experiment (Section 4.2.4) is throughput-bound on
+geometric predicates: haversine distances, point-in-polygon refinement,
+grid assignment. The scalar implementations in :mod:`.geometry`,
+:mod:`.grid` and :mod:`.trajectory` stay the readable source of truth —
+and the *equivalence oracle* the dual-path reprolint checker enforces —
+while the functions here evaluate the same formulas over whole
+coordinate arrays in one numpy pass.
+
+Parity contract (what "equivalent" means, kernel by kernel)
+-----------------------------------------------------------
+* **Pure-arithmetic predicates are bit-for-bit.** Point-in-ring
+  (even-odd), bbox containment, grid cell assignment and mask sub-cell
+  lookup use only ``+ - * /``, comparisons and truncation; every
+  expression here mirrors the scalar operation order, so the verdicts
+  are identical down to the last ulp on every platform.
+* **Transcendental kernels are last-ulp equivalent.** ``np.arcsin`` /
+  ``np.arctan2`` (and, on some SIMD builds, ``np.sin``/``np.cos``) may
+  differ from the ``math`` module by one ulp, so haversine distances and
+  bearings agree to ~1e-12 relative rather than exactly. Predicates
+  *derived* from them (nearTo thresholds) are asserted equivalent on the
+  benchmark workloads, where a last-ulp flip at the threshold does not
+  occur.
+
+Truncation convention: the scalar code indexes with ``int(x)``
+(truncation toward zero); kernels mirror that with ``astype(int64)``,
+never ``floor`` — the two differ for negative operands, and clamped
+results must match the scalar path exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .units import EARTH_RADIUS_M
+
+__all__ = [
+    "as_array",
+    "as_lonlat",
+    "haversine_m_batch",
+    "heading_difference_batch",
+    "initial_bearing_deg_batch",
+    "normalize_heading_batch",
+    "ring_contains_batch",
+    "rings_to_arrays",
+    "point_segment_distance_batch",
+    "polygon_boundary_distance_m_batch",
+]
+
+
+def as_array(values: Iterable[float] | np.ndarray) -> np.ndarray:
+    """Coerce a coordinate sequence to a contiguous float64 array."""
+    return np.ascontiguousarray(values, dtype=np.float64)
+
+
+def as_lonlat(
+    lons: Iterable[float] | np.ndarray, lats: Iterable[float] | np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Coerce paired lon/lat sequences to equal-shape float64 arrays."""
+    lon = as_array(lons)
+    lat = as_array(lats)
+    if lon.shape != lat.shape:
+        raise ValueError(f"lon/lat shape mismatch: {lon.shape} vs {lat.shape}")
+    return lon, lat
+
+
+# -- geodesics ---------------------------------------------------------------------
+
+
+def haversine_m_batch(lon1, lat1, lon2, lat2) -> np.ndarray:
+    """Great-circle distances in metres; broadcasting twin of ``haversine_m``.
+
+    Mirrors the scalar formula (including the antipodal clamp) operation
+    by operation; agrees with the scalar path to the last ulp of
+    ``asin`` (see the module parity contract).
+    """
+    lon1, lat1 = np.asarray(lon1, np.float64), np.asarray(lat1, np.float64)
+    lon2, lat2 = np.asarray(lon2, np.float64), np.asarray(lat2, np.float64)
+    phi1 = lat1 * math.pi / 180.0
+    phi2 = lat2 * math.pi / 180.0
+    dphi = (lat2 - lat1) * math.pi / 180.0
+    dlmb = (lon2 - lon1) * math.pi / 180.0
+    a = np.sin(dphi / 2.0) ** 2 + np.cos(phi1) * np.cos(phi2) * np.sin(dlmb / 2.0) ** 2
+    # Clamp for numerical safety near antipodal points (scalar twin does too).
+    np.clip(a, 0.0, 1.0, out=a)
+    return 2.0 * EARTH_RADIUS_M * np.arcsin(np.sqrt(a))
+
+
+def initial_bearing_deg_batch(lon1, lat1, lon2, lat2) -> np.ndarray:
+    """Initial bearings in [0, 360); broadcasting twin of ``initial_bearing_deg``."""
+    lon1, lat1 = np.asarray(lon1, np.float64), np.asarray(lat1, np.float64)
+    lon2, lat2 = np.asarray(lon2, np.float64), np.asarray(lat2, np.float64)
+    phi1 = lat1 * math.pi / 180.0
+    phi2 = lat2 * math.pi / 180.0
+    dlmb = (lon2 - lon1) * math.pi / 180.0
+    y = np.sin(dlmb) * np.cos(phi2)
+    x = np.cos(phi1) * np.sin(phi2) - np.sin(phi1) * np.cos(phi2) * np.cos(dlmb)
+    deg = np.arctan2(y, x) * 180.0 / math.pi
+    return np.where(deg < 0.0, deg + 360.0, deg)
+
+
+# -- headings ----------------------------------------------------------------------
+
+
+def normalize_heading_batch(degs) -> np.ndarray:
+    """Headings normalized to [0, 360); bit-for-bit twin of ``units.normalize_heading``.
+
+    ``np.fmod`` is the same C ``fmod`` the scalar path calls, so every
+    branch (negative wrap, the ``>= 360`` rounding guard) matches exactly.
+    """
+    h = np.fmod(np.asarray(degs, np.float64), 360.0)
+    h = np.where(h < 0.0, h + 360.0, h)
+    return np.where(h >= 360.0, 0.0, h)
+
+
+def heading_difference_batch(a, b) -> np.ndarray:
+    """Smallest absolute angular differences in [0, 180]; twin of ``units.heading_difference``."""
+    d = np.abs(normalize_heading_batch(a) - normalize_heading_batch(b))
+    return np.where(d > 180.0, 360.0 - d, d)
+
+
+# -- point-in-ring (even-odd, boundary-inclusive) ----------------------------------
+
+
+def rings_to_arrays(
+    rings: Sequence[Sequence[tuple[float, float]]],
+) -> list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Precompute per-ring edge arrays ``(x1, y1, x2, y2)`` for the PIP kernel."""
+    out = []
+    for ring in rings:
+        pts = np.asarray(ring, dtype=np.float64).reshape(-1, 2)
+        x1, y1 = pts[:, 0], pts[:, 1]
+        out.append((x1, y1, np.roll(x1, -1), np.roll(y1, -1)))
+    return out
+
+
+def ring_contains_batch(
+    edges: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    lons: np.ndarray,
+    lats: np.ndarray,
+) -> np.ndarray:
+    """Even-odd point-in-ring verdicts for all points against all edges.
+
+    Bit-for-bit twin of ``geometry._ring_contains``: the crossing
+    abscissa is evaluated with the identical expression, the on-vertex /
+    on-edge shortcuts use the same exact comparisons, and the parity is
+    the count of strict ``lon < x_cross`` crossings. Cost is
+    O(edges x points) in one numpy pass.
+    """
+    x1, y1, x2, y2 = edges
+    lon = lons[:, None]
+    lat = lats[:, None]
+    on_vertex = ((lon == x1) & (lat == y1)).any(axis=1)
+    crosses = (y1 > lat) != (y2 > lat)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        x_cross = x1 + (lat - y1) * (x2 - x1) / (y2 - y1)
+    on_edge = (crosses & (np.abs(x_cross - lon) < 1e-15)).any(axis=1)
+    parity = (crosses & (lon < x_cross)).sum(axis=1) & 1
+    return on_vertex | on_edge | (parity == 1)
+
+
+# -- point-to-segment distances ----------------------------------------------------
+
+
+def point_segment_distance_batch(
+    x1: np.ndarray, y1: np.ndarray, x2: np.ndarray, y2: np.ndarray
+) -> np.ndarray:
+    """Min distance from the origin to each of a set of segments, per row.
+
+    Inputs are ``(P, E)`` arrays of segment endpoints *already translated
+    so the query point sits at the origin* (that is how the scalar
+    ``Polygon.distance_to_point_m`` frames it: a per-point ENU projection
+    centred on the point). Returns the ``(P,)`` minimum over the edge
+    axis. Mirrors ``geometry._point_segment_distance`` exactly, including
+    the degenerate zero-length-segment branch.
+    """
+    dx, dy = x2 - x1, y2 - y1
+    seg2 = dx * dx + dy * dy
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t = ((0.0 - x1) * dx + (0.0 - y1) * dy) / seg2
+    t = np.clip(t, 0.0, 1.0)
+    ex = 0.0 - (x1 + t * dx)
+    ey = 0.0 - (y1 + t * dy)
+    d_seg = np.sqrt(ex * ex + ey * ey)
+    ax, ay = 0.0 - x1, 0.0 - y1
+    d_end = np.sqrt(ax * ax + ay * ay)
+    return np.where(seg2 <= 0.0, d_end, d_seg).min(axis=1)
+
+
+def polygon_boundary_distance_m_batch(polygon, lons: np.ndarray, lats: np.ndarray) -> np.ndarray:
+    """Distance in metres from each point to a polygon's outer boundary.
+
+    Twin of the edge-loop in ``Polygon.distance_to_point_m`` (which
+    considers the outer ring only): each point gets its own ENU frame
+    centred on itself, so the per-point metre scale matches the scalar
+    path's ``LocalProjection(lon, lat)`` exactly. Callers are expected to
+    have excluded interior points already (the scalar twin returns 0.0
+    for them before reaching the edge loop).
+    """
+    edge_fn = getattr(polygon, "_edge_arrays", None)
+    if edge_fn is not None:  # reuse Polygon's cached per-ring edge arrays
+        ax, ay, bx, by = edge_fn()[0]
+    else:
+        verts = np.asarray(polygon.vertices, dtype=np.float64)
+        ax, ay = verts[:, 0], verts[:, 1]
+        bx, by = np.roll(ax, -1), np.roll(ay, -1)
+    # Per-point equirectangular scale, mirroring LocalProjection.__init__:
+    # mx = metres/deg lon at the point's latitude, my = metres/deg lat.
+    my = EARTH_RADIUS_M * math.pi / 180.0
+    mx = my * np.cos(lats * math.pi / 180.0)
+    lon = lons[:, None]
+    lat = lats[:, None]
+    x1 = (ax - lon) * mx[:, None]
+    y1 = (ay - lat) * my
+    x2 = (bx - lon) * mx[:, None]
+    y2 = (by - lat) * my
+    return point_segment_distance_batch(x1, y1, x2, y2)

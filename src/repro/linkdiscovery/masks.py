@@ -22,6 +22,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from .blocking import RegionBlocks
 
 
@@ -39,7 +41,13 @@ class MaskStats:
 class CellMasks:
     """Per-cell coverage bitmaps over the blocked region set."""
 
-    def __init__(self, blocks: RegionBlocks, resolution: int = 16, near_margin_m: float = 0.0):
+    def __init__(
+        self,
+        blocks: RegionBlocks,
+        resolution: int = 16,
+        near_margin_m: float = 0.0,
+        vectorized: bool = True,
+    ):
         if resolution < 1:
             raise ValueError("mask resolution must be >= 1")
         self.blocks = blocks
@@ -48,7 +56,10 @@ class CellMasks:
         self.near_margin_m = near_margin_m
         # cell_id -> bitmask of covered sub-cells (bit set = covered, NOT mask).
         self._coverage: dict[int, int] = {}
-        self._build()
+        if vectorized:
+            self._build_batch()
+        else:
+            self._build()
         # Cells that have blocked candidates but no materialized coverage
         # (possible when a region's *expanded* blocking overshoots its
         # geometry) must still have an all-free bitmap entry: "no entry"
@@ -68,6 +79,8 @@ class CellMasks:
                 self.resolution / box.height,
             )
         self.stats = MaskStats()
+        # Aligned arrays for in_mask_batch, built lazily on first use.
+        self._tables: tuple[np.ndarray, ...] | None = None
 
     # -- construction -------------------------------------------------------------
 
@@ -134,6 +147,82 @@ class CellMasks:
                     for sc in range(max(0, c_start), min(sub_cols - 1, c_end) + 1):
                         mark(sc, sr)
 
+    def _build_batch(self) -> None:
+        """Canvas-based coverage build: row-run numpy fills, identical bitmaps.
+
+        Marks all regions into one boolean sub-grid canvas — the boundary
+        supercover stays per-edge (it is O(vertices)), but the interior
+        scanline spans and nearTo rectangles become whole-row slice
+        assignments — then packs each grid cell's ``res x res`` block into
+        the same little-endian bit layout the scalar ``mark`` produces
+        (bit index ``(sr % res) * res + (sc % res)``). The scalar
+        ``_build`` (``vectorized=False``) is the equivalence oracle: both
+        paths yield byte-identical ``_coverage`` dictionaries.
+        """
+        res = self.resolution
+        grid = self.grid
+        sub_cols = grid.cols * res
+        sub_rows = grid.rows * res
+        inv_dx = sub_cols / grid.bbox.width
+        inv_dy = sub_rows / grid.bbox.height
+        min_lon, min_lat = grid.bbox.min_lon, grid.bbox.min_lat
+        canvas = np.zeros((sub_rows, sub_cols), dtype=bool)
+
+        def mark(sc: int, sr: int) -> None:
+            if 0 <= sc < sub_cols and 0 <= sr < sub_rows:
+                canvas[sr, sc] = True
+
+        for region in self.blocks.regions:
+            if self.near_margin_m > 0.0:
+                box = region.polygon.bbox.expanded_by_metres(self.near_margin_m)
+                c0 = max(0, int((box.min_lon - min_lon) * inv_dx))
+                c1 = min(sub_cols - 1, int((box.max_lon - min_lon) * inv_dx))
+                r0 = max(0, int((box.min_lat - min_lat) * inv_dy))
+                r1 = min(sub_rows - 1, int((box.max_lat - min_lat) * inv_dy))
+                if c1 >= c0 and r1 >= r0:
+                    canvas[r0 : r1 + 1, c0 : c1 + 1] = True
+                continue
+            rings = [region.polygon.vertices] + region.polygon.holes
+            for ring in rings:
+                n = len(ring)
+                for i in range(n):
+                    ax, ay = ring[i]
+                    bx, by = ring[(i + 1) % n]
+                    _supercover(
+                        (ax - min_lon) * inv_dx,
+                        (ay - min_lat) * inv_dy,
+                        (bx - min_lon) * inv_dx,
+                        (by - min_lat) * inv_dy,
+                        mark,
+                    )
+            box = region.polygon.bbox
+            r0 = max(0, int((box.min_lat - min_lat) * inv_dy))
+            r1 = min(sub_rows - 1, int((box.max_lat - min_lat) * inv_dy))
+            for sr in range(r0, r1 + 1):
+                y = min_lat + (sr + 0.5) / inv_dy
+                crossings: list[float] = []
+                for ring in rings:
+                    n = len(ring)
+                    for i in range(n):
+                        x1, y1 = ring[i]
+                        x2, y2 = ring[(i + 1) % n]
+                        if (y1 > y) != (y2 > y):
+                            crossings.append(x1 + (y - y1) * (x2 - x1) / (y2 - y1))
+                crossings.sort()
+                for j in range(0, len(crossings) - 1, 2):
+                    c_start = max(0, int((crossings[j] - min_lon) * inv_dx))
+                    c_end = min(sub_cols - 1, int((crossings[j + 1] - min_lon) * inv_dx))
+                    if c_end >= c_start:
+                        canvas[sr, c_start : c_end + 1] = True
+
+        # Pack each grid cell's res x res block into the scalar bit layout.
+        blocks4 = canvas.reshape(grid.rows, res, grid.cols, res).transpose(0, 2, 1, 3)
+        covered = blocks4.any(axis=(2, 3))
+        for row, col in np.argwhere(covered):
+            block = np.ascontiguousarray(blocks4[row, col])
+            packed = np.packbits(block.reshape(-1), bitorder="little")
+            self._coverage[int(row) * grid.cols + int(col)] = int.from_bytes(packed.tobytes(), "little")
+
     # -- querying -----------------------------------------------------------------
 
     def in_mask(self, lon: float, lat: float) -> bool:
@@ -165,6 +254,65 @@ class CellMasks:
         if free:
             self.stats.pruned += 1
         return free
+
+    def _ensure_tables(self) -> tuple[np.ndarray, ...]:
+        """Aligned per-entry arrays over ``_lookup`` for the batch fast path.
+
+        ``_lookup`` is immutable after construction, so this is built
+        once: a sorted cell-id array for ``searchsorted`` resolution, the
+        per-entry sub-grid transforms, and the coverage bits unpacked to
+        a ``(entries, res, res)`` boolean cube (bit ``r*res + c`` of the
+        scalar int maps to ``cov[e, r, c]``).
+        """
+        if self._tables is not None:
+            return self._tables
+        res = self.resolution
+        ids = np.sort(np.fromiter(self._lookup.keys(), dtype=np.int64, count=len(self._lookup)))
+        n = ids.size
+        min_lon = np.empty(n, dtype=np.float64)
+        min_lat = np.empty(n, dtype=np.float64)
+        inv_dx = np.empty(n, dtype=np.float64)
+        inv_dy = np.empty(n, dtype=np.float64)
+        nbytes = (res * res + 7) // 8
+        cov = np.zeros((n, res, res), dtype=bool)
+        for e, cell_id in enumerate(ids.tolist()):
+            bits, lo, la, ix, iy = self._lookup[cell_id]
+            min_lon[e], min_lat[e], inv_dx[e], inv_dy[e] = lo, la, ix, iy
+            if bits:
+                raw = np.frombuffer(bits.to_bytes(nbytes, "little"), dtype=np.uint8)
+                cov[e] = np.unpackbits(raw, bitorder="little")[: res * res].reshape(res, res)
+        self._tables = (ids, min_lon, min_lat, inv_dx, inv_dy, cov)
+        return self._tables
+
+    def in_mask_batch(self, lons, lats) -> np.ndarray:
+        """Vectorized :meth:`in_mask`: per-point free/covered verdicts.
+
+        Resolves every point's cell id, sub-cell and coverage bit in one
+        numpy pass — bit-for-bit identical verdicts to the scalar twin
+        (pure truncation arithmetic and bit tests), and the same
+        ``stats`` deltas: ``tested`` grows by the batch size, ``pruned``
+        by the number of True verdicts.
+        """
+        lon = np.ascontiguousarray(lons, dtype=np.float64)
+        lat = np.ascontiguousarray(lats, dtype=np.float64)
+        n = lon.size
+        self.stats.tested += n
+        ids, e_min_lon, e_min_lat, e_inv_dx, e_inv_dy, cov = self._ensure_tables()
+        verdict = np.ones(n, dtype=bool)
+        if ids.size:
+            cell_ids = self.grid.cell_ids_batch(lon, lat)
+            pos = np.minimum(np.searchsorted(ids, cell_ids), ids.size - 1)
+            found = ids[pos] == cell_ids
+            if found.any():
+                e = pos[found]
+                res = self.resolution
+                c = ((lon[found] - e_min_lon[e]) * e_inv_dx[e]).astype(np.int64)
+                r = ((lat[found] - e_min_lat[e]) * e_inv_dy[e]).astype(np.int64)
+                np.clip(c, 0, res - 1, out=c)
+                np.clip(r, 0, res - 1, out=r)
+                verdict[found] = ~cov[e, r, c]
+        self.stats.pruned += int(verdict.sum())
+        return verdict
 
     def coverage_fraction(self, cell_id: int) -> float:
         """Fraction of a cell's sub-cells covered by candidate geometry."""

@@ -7,7 +7,7 @@ partitioned broker with consumer groups.
 
 from .broker import Broker, Consumer, Topic, TopicBatcher, TopicMessage
 from .join import Enriched, TemporalLookupJoin
-from .operators import Filter, FlatMap, KeyBy, KeyedProcess, LatencyProbe, Map, Operator, Peek, Union
+from .operators import Filter, FlatMap, KeyBy, KeyedProcess, LatencyProbe, Map, MapBatch, Operator, Peek, Union
 from .pipeline import Pipeline, WatermarkAssigner, drain_consumer, merge_by_time, publish_all, records_from_values
 from .record import Record, StreamElement, StreamStats, Watermark
 from .sharding import (
@@ -32,6 +32,7 @@ __all__ = [
     "KeyedProcess",
     "LatencyProbe",
     "Map",
+    "MapBatch",
     "Operator",
     "Peek",
     "Pipeline",

@@ -147,6 +147,37 @@ class Map(Operator):
         return [r.with_value(fn(r.value)) for r in records]
 
 
+class MapBatch(Operator):
+    """Apply a whole-batch kernel to runs of record values.
+
+    The plumbing that lets vectorized kernels (the numpy geo batch paths,
+    columnar encoders, ...) run over a poll's worth of records in one
+    call: the constructor takes a batch function ``list[values] ->
+    list[values]`` that must return exactly one output value per input.
+    The per-record path feeds the same kernel a one-element batch, so
+    ``on_record`` stays the equivalence oracle for ``on_batch`` whenever
+    the kernel is element-wise.
+    """
+
+    name = "map_batch"
+
+    def __init__(self, batch_fn: Callable[[list[Any]], list[Any]]):
+        super().__init__()
+        self.batch_fn = batch_fn
+
+    def on_record(self, record: Record) -> list[StreamElement]:
+        values = self.batch_fn([record.value])
+        if len(values) != 1:
+            raise ValueError(f"batch kernel returned {len(values)} values for 1 record")
+        return [record.with_value(values[0])]
+
+    def on_batch(self, records: list[Record]) -> list[StreamElement]:
+        values = self.batch_fn([r.value for r in records])
+        if len(values) != len(records):
+            raise ValueError(f"batch kernel returned {len(values)} values for {len(records)} records")
+        return [r.with_value(v) for r, v in zip(records, values)]
+
+
 class Filter(Operator):
     """Keep only records whose value satisfies the predicate."""
 

@@ -461,6 +461,82 @@ class TestDualPathChecker:
         result2 = run_analysis(root2, checks=["dual-path"])
         assert new_findings_of(result2, "dual-path") == []
 
+    @staticmethod
+    def _batch_toml() -> str:
+        return LAYERING_TOML.replace("cep = []", 'cep = []\ngeo = []').replace(
+            "[forbid.streams]",
+            '[dual_path]\nbatch_suffix_packages = ["geo"]\n\n[forbid.streams]',
+        )
+
+    def test_batch_kernel_without_scalar_twin_fires(self, tmp_path):
+        root = write_project(
+            tmp_path,
+            {
+                "tools/layering.toml": self._batch_toml(),
+                "src/repro/geo/kern.py": (
+                    "def haversine_m_batch(lon, lat):\n"
+                    "    return lon\n"
+                ),
+            },
+        )
+        result = run_analysis(root, checks=["dual-path"])
+        messages = [f.message for f in new_findings_of(result, "dual-path")]
+        assert any("no scalar twin" in m for m in messages)
+
+    def test_batch_kernel_without_equivalence_test_fires(self, tmp_path):
+        root = write_project(
+            tmp_path,
+            {
+                "tools/layering.toml": self._batch_toml(),
+                "src/repro/geo/kern.py": (
+                    "def cell_ids_batch(lon, lat):\n"
+                    "    return lon\n"
+                    "def cell_id(lon, lat):\n"  # singularized twin exists
+                    "    return lon\n"
+                ),
+            },
+        )
+        result = run_analysis(root, checks=["dual-path"])
+        messages = [f.message for f in new_findings_of(result, "dual-path")]
+        assert len(messages) == 1
+        assert "no test references cell_ids_batch" in messages[0]
+
+    def test_batch_kernel_with_twin_and_test_satisfies(self, tmp_path):
+        root = write_project(
+            tmp_path,
+            {
+                "tools/layering.toml": self._batch_toml(),
+                "src/repro/geo/kern.py": (
+                    "def _contains(lon, lat):\n"  # underscore-private twin is fine
+                    "    return True\n"
+                    "def contains_batch(lon, lat):\n"
+                    "    return [_contains(x, y) for x, y in zip(lon, lat)]\n"
+                ),
+                "tests/test_kern.py": (
+                    "def test_equivalence():\n"
+                    "    assert contains_batch([1.0], [2.0]) == [_contains(1.0, 2.0)]\n"
+                ),
+            },
+        )
+        result = run_analysis(root, checks=["dual-path"])
+        assert new_findings_of(result, "dual-path") == []
+
+    def test_batch_suffix_rule_only_in_opted_in_packages(self, tmp_path):
+        # streams is not listed in batch_suffix_packages: no finding even
+        # with neither twin nor test.
+        root = write_project(
+            tmp_path,
+            {
+                "tools/layering.toml": self._batch_toml(),
+                "src/repro/streams/enc.py": (
+                    "def encode_batch(rows):\n"
+                    "    return rows\n"
+                ),
+            },
+        )
+        result = run_analysis(root, checks=["dual-path"])
+        assert new_findings_of(result, "dual-path") == []
+
     def test_parallel_without_branch_fires(self, tmp_path):
         root = write_project(
             tmp_path,

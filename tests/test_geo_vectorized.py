@@ -1,0 +1,458 @@
+"""Equivalence of the numpy geo/link-discovery batch kernels and their scalar twins.
+
+Every kernel in ``repro.geo.kernels`` (and every ``*_batch`` method /
+``vectorized=`` path built on them) keeps its scalar implementation as
+the equivalence oracle. These properties pin the contract documented in
+the kernels module:
+
+* pure-arithmetic predicates — point-in-ring, bbox containment, grid
+  assignment, mask bits, projection, heading arithmetic, boundary
+  distances — are **bit-for-bit** identical;
+* transcendental kernels (haversine, bearing) agree to the last ulp of
+  ``asin``/``atan2``, with verdicts (link sets) asserted exactly on the
+  randomized workloads;
+* stats/counter deltas of the batched discovery paths equal the
+  per-point paths exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasources.ports import Port
+from repro.datasources.regions import Region
+from repro.geo import (
+    BBox,
+    EquiGrid,
+    GeoPoint,
+    LocalProjection,
+    Polygon,
+    PositionFix,
+    haversine_m,
+    initial_bearing_deg,
+    polygon_boundary_distance_m,
+    segment_speeds_mps,
+    turn_rates_deg_s,
+)
+from repro.geo.geometry import _point_segment_distance, _ring_contains
+from repro.geo.kernels import (
+    haversine_m_batch,
+    heading_difference_batch,
+    initial_bearing_deg_batch,
+    normalize_heading_batch,
+    point_segment_distance_batch,
+    polygon_boundary_distance_m_batch,
+    ring_contains_batch,
+    rings_to_arrays,
+)
+from repro.geo.units import heading_difference, normalize_heading
+from repro.linkdiscovery.blocking import RegionBlocks
+from repro.linkdiscovery.discoverer import PortLinkDiscoverer, RegionLinkDiscoverer
+from repro.linkdiscovery.masks import CellMasks
+from repro.obs import MetricsRegistry
+
+BOX = BBox(0.0, 0.0, 10.0, 10.0)
+
+lonlats = st.lists(
+    st.tuples(st.floats(-180.0, 180.0), st.floats(-89.0, 89.0)),
+    min_size=1,
+    max_size=40,
+)
+
+seeds = st.integers(0, 2**31 - 1)
+
+
+def star_polygon(seed: int, cx: float = 5.0, cy: float = 5.0, with_hole: bool = False) -> Polygon:
+    """A random simple (star-shaped) polygon around (cx, cy)."""
+    rng = random.Random(seed)
+    nv = rng.randint(3, 20)
+    verts = [
+        (
+            cx + rng.uniform(0.3, 2.5) * math.cos(2 * math.pi * k / nv),
+            cy + rng.uniform(0.3, 2.5) * math.sin(2 * math.pi * k / nv),
+        )
+        for k in range(nv)
+    ]
+    holes = []
+    if with_hole:
+        r = rng.uniform(0.05, 0.2)
+        holes = [[(cx - r, cy - r), (cx + r, cy - r), (cx + r, cy + r), (cx - r, cy + r)]]
+    return Polygon(verts, holes=holes)
+
+
+def probe_points(seed: int, polygon: Polygon, n: int = 60) -> tuple[np.ndarray, np.ndarray]:
+    """Random points plus the polygon's own vertices and edge midpoints."""
+    rng = random.Random(seed)
+    pts = [(rng.uniform(-1.0, 11.0), rng.uniform(-1.0, 11.0)) for _ in range(n)]
+    for ring in [polygon.vertices, *polygon.holes]:
+        pts.extend(ring)
+        m = len(ring)
+        for i in range(m):
+            (x1, y1), (x2, y2) = ring[i], ring[(i + 1) % m]
+            pts.append(((x1 + x2) / 2.0, (y1 + y2) / 2.0))
+    arr = np.asarray(pts, dtype=np.float64)
+    return arr[:, 0], arr[:, 1]
+
+
+# -- geodesic kernels ---------------------------------------------------------------
+
+
+class TestGeodesicKernels:
+    @given(pairs=st.lists(st.tuples(st.floats(-180, 180), st.floats(-90, 90),
+                                    st.floats(-180, 180), st.floats(-90, 90)),
+                          min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_haversine_m_batch_matches_scalar(self, pairs):
+        arr = np.asarray(pairs, dtype=np.float64)
+        batch = haversine_m_batch(arr[:, 0], arr[:, 1], arr[:, 2], arr[:, 3])
+        scalar = np.asarray([haversine_m(*p) for p in pairs])
+        assert np.allclose(batch, scalar, rtol=1e-12, atol=1e-6)
+        assert not np.isnan(batch).any()
+
+    def test_haversine_m_batch_antipodal_clamp(self):
+        # Antipodal pairs push the haversine argument to (and past) 1.0;
+        # both paths clamp, neither returns NaN.
+        lon1 = np.array([0.0, -90.0, 45.0])
+        lat1 = np.array([0.0, 0.0, 30.0])
+        lon2 = np.array([180.0, 90.0, -135.0])
+        lat2 = np.array([0.0, 0.0, -30.0])
+        batch = haversine_m_batch(lon1, lat1, lon2, lat2)
+        scalar = [haversine_m(a, b, c, d) for a, b, c, d in zip(lon1, lat1, lon2, lat2)]
+        assert np.allclose(batch, scalar, rtol=1e-12)
+        assert not np.isnan(batch).any()
+
+    @given(pairs=st.lists(st.tuples(st.floats(-180, 180), st.floats(-89, 89),
+                                    st.floats(-180, 180), st.floats(-89, 89)),
+                          min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_initial_bearing_deg_batch_matches_scalar(self, pairs):
+        arr = np.asarray(pairs, dtype=np.float64)
+        batch = initial_bearing_deg_batch(arr[:, 0], arr[:, 1], arr[:, 2], arr[:, 3])
+        scalar = np.asarray([initial_bearing_deg(*p) for p in pairs])
+        assert np.allclose(batch, scalar, rtol=1e-9, atol=1e-9)
+        # The scalar twin's `% 360` can land exactly on 360.0 for a bearing
+        # that is a hair below zero; the batch path reproduces it faithfully.
+        assert ((batch >= 0.0) & (batch <= 360.0)).all()
+
+    @given(degs=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_normalize_heading_batch_bit_for_bit(self, degs):
+        batch = normalize_heading_batch(degs)
+        scalar = [normalize_heading(d) for d in degs]
+        assert batch.tolist() == scalar
+
+    @given(degs=st.lists(st.tuples(st.floats(-720, 720), st.floats(-720, 720)),
+                         min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_heading_difference_batch_bit_for_bit(self, degs):
+        a = np.asarray([d[0] for d in degs])
+        b = np.asarray([d[1] for d in degs])
+        batch = heading_difference_batch(a, b)
+        scalar = [heading_difference(x, y) for x, y in degs]
+        assert batch.tolist() == scalar
+
+
+# -- point-in-polygon ---------------------------------------------------------------
+
+
+class TestPointInPolygon:
+    @given(seed=seeds, with_hole=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_ring_contains_batch_bit_for_bit(self, seed, with_hole):
+        polygon = star_polygon(seed, with_hole=with_hole)
+        lons, lats = probe_points(seed + 1, polygon)
+        edges = rings_to_arrays([polygon.vertices])[0]
+        batch = ring_contains_batch(edges, lons, lats)
+        scalar = [_ring_contains(polygon.vertices, x, y) for x, y in zip(lons.tolist(), lats.tolist())]
+        assert batch.tolist() == scalar
+
+    @given(seed=seeds, with_hole=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_contains_batch_and_contains_exact_batch_bit_for_bit(self, seed, with_hole):
+        # Probes include boundary points, polygon vertices and hole vertices.
+        polygon = star_polygon(seed, with_hole=with_hole)
+        lons, lats = probe_points(seed + 2, polygon)
+        exact = polygon.contains_exact_batch(lons, lats)
+        full = polygon.contains_batch(lons, lats)
+        pts = list(zip(lons.tolist(), lats.tolist()))
+        assert exact.tolist() == [polygon.contains_exact(x, y) for x, y in pts]
+        assert full.tolist() == [polygon.contains(x, y) for x, y in pts]
+
+    @given(points=lonlats)
+    @settings(max_examples=40, deadline=None)
+    def test_bbox_contains_batch_bit_for_bit(self, points):
+        box = BBox(-20.0, -10.0, 30.0, 40.0)
+        arr = np.asarray(points, dtype=np.float64)
+        batch = box.contains_batch(arr[:, 0], arr[:, 1])
+        assert batch.tolist() == [box.contains(x, y) for x, y in points]
+
+
+# -- distances ----------------------------------------------------------------------
+
+
+class TestDistanceKernels:
+    @given(seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_point_segment_distance_batch_bit_for_bit(self, seed):
+        rng = random.Random(seed)
+        n_pts, n_seg = rng.randint(1, 12), rng.randint(1, 12)
+        segs = [
+            (rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5))
+            for _ in range(n_seg)
+        ]
+        if n_seg > 1:  # a degenerate zero-length segment exercises the d_end branch
+            x, y = rng.uniform(-5, 5), rng.uniform(-5, 5)
+            segs[-1] = (x, y, x, y)
+        pts = [(rng.uniform(-5, 5), rng.uniform(-5, 5)) for _ in range(n_pts)]
+        # The kernel contract is origin-framed endpoints (each query point
+        # at (0, 0)) — exactly how the scalar path frames it via its
+        # per-point projection — so frame the scalar twin identically.
+        px = np.asarray([p[0] for p in pts])[:, None]
+        py = np.asarray([p[1] for p in pts])[:, None]
+        sx1 = np.asarray([s[0] for s in segs])[None, :] - px
+        sy1 = np.asarray([s[1] for s in segs])[None, :] - py
+        sx2 = np.asarray([s[2] for s in segs])[None, :] - px
+        sy2 = np.asarray([s[3] for s in segs])[None, :] - py
+        batch = point_segment_distance_batch(sx1, sy1, sx2, sy2)
+        scalar = [
+            min(
+                _point_segment_distance(
+                    0.0, 0.0, sx1[i, j], sy1[i, j], sx2[i, j], sy2[i, j]
+                )
+                for j in range(n_seg)
+            )
+            for i in range(n_pts)
+        ]
+        assert batch.tolist() == scalar
+
+    @given(seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_polygon_boundary_distance_m_batch_bit_for_bit(self, seed):
+        polygon = star_polygon(seed)
+        lons, lats = probe_points(seed + 3, polygon, n=30)
+        batch = polygon_boundary_distance_m_batch(polygon, lons, lats)
+        scalar = [
+            polygon_boundary_distance_m(polygon, x, y)
+            for x, y in zip(lons.tolist(), lats.tolist())
+        ]
+        assert batch.tolist() == scalar
+
+    @given(seed=seeds, with_hole=st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_distance_to_point_m_batch_bit_for_bit(self, seed, with_hole):
+        polygon = star_polygon(seed, with_hole=with_hole)
+        lons, lats = probe_points(seed + 4, polygon, n=30)
+        batch = polygon.distance_to_point_m_batch(lons, lats)
+        scalar = [polygon.distance_to_point_m(x, y) for x, y in zip(lons.tolist(), lats.tolist())]
+        assert batch.tolist() == scalar
+
+
+# -- projection, grid, trajectory kernels -------------------------------------------
+
+
+class TestProjectionAndGrid:
+    @given(points=lonlats)
+    @settings(max_examples=40, deadline=None)
+    def test_local_projection_batch_bit_for_bit(self, points):
+        proj = LocalProjection(5.0, 45.0)
+        arr = np.asarray(points, dtype=np.float64)
+        xb, yb = proj.to_xy_batch(arr[:, 0], arr[:, 1])
+        scalar = [proj.to_xy(x, y) for x, y in points]
+        assert xb.tolist() == [s[0] for s in scalar]
+        assert yb.tolist() == [s[1] for s in scalar]
+        lb, tb = proj.to_lonlat_batch(xb, yb)
+        back = [proj.to_lonlat(x, y) for x, y in scalar]
+        assert lb.tolist() == [s[0] for s in back]
+        assert tb.tolist() == [s[1] for s in back]
+
+    @given(points=st.lists(st.tuples(st.floats(-5.0, 15.0), st.floats(-5.0, 15.0)),
+                           min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_locate_batch_and_cell_ids_batch_bit_for_bit(self, points):
+        # The domain extends past the grid: out-of-grid fixes clamp to the
+        # border cells identically on both paths (trunc-toward-zero).
+        grid = EquiGrid(BOX, 13, 7)
+        arr = np.asarray(points, dtype=np.float64)
+        cols, rows = grid.locate_batch(arr[:, 0], arr[:, 1])
+        scalar = [grid.locate(x, y) for x, y in points]
+        assert cols.tolist() == [s[0] for s in scalar]
+        assert rows.tolist() == [s[1] for s in scalar]
+        ids = grid.cell_ids_batch(arr[:, 0], arr[:, 1])
+        assert ids.tolist() == [grid.cell_id(x, y) for x, y in points]
+
+    @given(seed=seeds, with_hole=st.booleans())
+    @settings(max_examples=50, deadline=None)
+    def test_rasterize_polygon_vectorized_equivalence(self, seed, with_hole):
+        grid = EquiGrid(BOX, 16, 16)
+        polygon = star_polygon(seed, with_hole=with_hole)
+        assert grid.rasterize_polygon(polygon, vectorized=True) == grid.rasterize_polygon(
+            polygon, vectorized=False
+        )
+
+    def test_rasterize_polygon_disjoint_bbox(self):
+        grid = EquiGrid(BOX, 8, 8)
+        far = Polygon([(20.0, 20.0), (21.0, 20.0), (20.5, 21.0)])
+        assert grid.rasterize_polygon(far, vectorized=True) == []
+        assert grid.rasterize_polygon(far, vectorized=False) == []
+
+
+class TestTrajectoryKernels:
+    @given(seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_segment_speeds_mps_equivalence(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 50)
+        ts = sorted(rng.uniform(0, 3600) for _ in range(n))
+        if n > 3:
+            ts[2] = ts[1]  # zero-dt segment exercises the 0.0 branch
+        lons = [rng.uniform(-10, 10) for _ in range(n)]
+        lats = [rng.uniform(-10, 10) for _ in range(n)]
+        fast = segment_speeds_mps(ts, lons, lats, vectorized=True)
+        slow = segment_speeds_mps(ts, lons, lats, vectorized=False)
+        assert len(fast) == len(slow) == n - 1
+        assert np.allclose(fast, slow, rtol=1e-12, atol=1e-9)
+        for f, s in zip(fast, slow):
+            if s == 0.0:
+                assert f == 0.0
+
+    @given(seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_turn_rates_deg_s_bit_for_bit(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 50)
+        ts = sorted(rng.uniform(0, 3600) for _ in range(n))
+        if n > 3:
+            ts[2] = ts[1]
+        headings = [rng.uniform(-400, 760) for _ in range(n)]
+        assert turn_rates_deg_s(ts, headings, vectorized=True) == turn_rates_deg_s(
+            ts, headings, vectorized=False
+        )
+
+
+# -- cell masks ---------------------------------------------------------------------
+
+
+def _regions(seed: int, count: int = 8) -> list[Region]:
+    rng = random.Random(seed)
+    out = []
+    for i in range(count):
+        poly = star_polygon(
+            rng.randint(0, 2**30),
+            cx=rng.uniform(1.0, 9.0),
+            cy=rng.uniform(1.0, 9.0),
+            with_hole=(i % 3 == 0),
+        )
+        out.append(Region(f"r{i}", f"region-{i}", "test", poly))
+    return out
+
+
+class TestCellMasks:
+    @given(seed=seeds, margin=st.sampled_from([0.0, 10_000.0]))
+    @settings(max_examples=25, deadline=None)
+    def test_build_equivalence(self, seed, margin):
+        # The canvas build (vectorized=True) must produce byte-identical
+        # coverage bitmaps to the scalar mark-loop build.
+        grid = EquiGrid(BOX, 10, 10)
+        blocks = RegionBlocks(_regions(seed), grid, near_margin_m=margin)
+        fast = CellMasks(blocks, resolution=8, near_margin_m=margin, vectorized=True)
+        slow = CellMasks(blocks, resolution=8, near_margin_m=margin, vectorized=False)
+        assert fast._coverage == slow._coverage
+
+    @given(seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_in_mask_batch_verdicts_and_stats_deltas(self, seed):
+        grid = EquiGrid(BOX, 10, 10)
+        blocks = RegionBlocks(_regions(seed), grid)
+        masks = CellMasks(blocks, resolution=8)
+        oracle = CellMasks(blocks, resolution=8)
+        rng = random.Random(seed + 9)
+        n = rng.randint(1, 200)
+        lons = np.asarray([rng.uniform(-1.0, 11.0) for _ in range(n)])
+        lats = np.asarray([rng.uniform(-1.0, 11.0) for _ in range(n)])
+        batch = masks.in_mask_batch(lons, lats)
+        scalar = [oracle.in_mask(x, y) for x, y in zip(lons.tolist(), lats.tolist())]
+        assert batch.tolist() == scalar
+        assert masks.stats.tested == oracle.stats.tested == n
+        assert masks.stats.pruned == oracle.stats.pruned == sum(scalar)
+
+    def test_in_mask_batch_empty_lookup_prunes_everything(self):
+        grid = EquiGrid(BOX, 4, 4)
+        blocks = RegionBlocks(_regions(1, count=1), grid)
+        masks = CellMasks(blocks, resolution=4)
+        masks._lookup = {}
+        masks._tables = None
+        verdict = masks.in_mask_batch(np.array([1.0, 5.0]), np.array([1.0, 5.0]))
+        assert verdict.tolist() == [True, True]
+        assert masks.stats.pruned == 2
+
+
+# -- end-to-end discovery -----------------------------------------------------------
+
+
+def _fixes(seed: int, n: int) -> list[PositionFix]:
+    rng = random.Random(seed)
+    return [
+        PositionFix(f"e{i % 37}", float(i), rng.uniform(-0.5, 10.5), rng.uniform(-0.5, 10.5))
+        for i in range(n)
+    ]
+
+
+class TestDiscovererEquivalence:
+    @given(seed=seeds, use_masks=st.booleans(), near=st.sampled_from([0.0, 15_000.0]))
+    @settings(max_examples=15, deadline=None)
+    def test_region_discover_vectorized_equivalence(self, seed, use_masks, near):
+        regions = _regions(seed, count=10)
+        reg_fast, reg_slow = MetricsRegistry(), MetricsRegistry()
+        fast = RegionLinkDiscoverer(
+            regions, BOX, near_threshold_m=near, use_masks=use_masks, registry=reg_fast
+        )
+        slow = RegionLinkDiscoverer(
+            regions, BOX, near_threshold_m=near, use_masks=use_masks, registry=reg_slow
+        )
+        fixes = _fixes(seed + 1, 400)
+        res_fast = fast.discover(fixes, vectorized=True)
+        res_slow = slow.discover(fixes, vectorized=False)
+        # Link sets are bit-for-bit identical (distances included): the
+        # refinement predicates are pure arithmetic on both paths.
+        assert set(res_fast.links) == set(res_slow.links)
+        assert res_fast.entities_processed == res_slow.entities_processed
+        assert res_fast.refinements == res_slow.refinements
+        assert res_fast.mask_pruned == res_slow.mask_pruned
+        assert fast.blocks.stats.lookups == slow.blocks.stats.lookups
+        assert fast.blocks.stats.candidates == slow.blocks.stats.candidates
+        for metric in ("entities", "candidate_pairs", "links", "mask_pruned"):
+            name = f"linkdiscovery.region.{metric}"
+            assert reg_fast.counter(name).value == reg_slow.counter(name).value
+
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_port_discover_vectorized_equivalence(self, seed):
+        rng = random.Random(seed)
+        ports = [
+            Port(f"p{i}", f"port-{i}", "XX", GeoPoint(rng.uniform(0.5, 9.5), rng.uniform(0.5, 9.5)), 5000.0)
+            for i in range(15)
+        ]
+        reg_fast, reg_slow = MetricsRegistry(), MetricsRegistry()
+        fast = PortLinkDiscoverer(ports, BOX, threshold_m=12_000.0, registry=reg_fast)
+        slow = PortLinkDiscoverer(ports, BOX, threshold_m=12_000.0, registry=reg_slow)
+        fixes = _fixes(seed + 2, 300)
+        res_fast = fast.discover(fixes, vectorized=True)
+        res_slow = slow.discover(fixes, vectorized=False)
+        # Same pairs; distances agree to the last ulp of asin.
+        key = lambda link: (link.source_id, link.target_id, link.relation, link.t)  # noqa: E731
+        fast_by_key = {key(link): link.distance_m for link in res_fast.links}
+        slow_by_key = {key(link): link.distance_m for link in res_slow.links}
+        assert fast_by_key.keys() == slow_by_key.keys()
+        for k, d in fast_by_key.items():
+            assert math.isclose(d, slow_by_key[k], rel_tol=1e-12)
+        assert res_fast.refinements == res_slow.refinements
+        assert fast.blocks.stats.lookups == slow.blocks.stats.lookups
+        assert fast.blocks.stats.candidates == slow.blocks.stats.candidates
+        for metric in ("entities", "candidate_pairs", "links"):
+            name = f"linkdiscovery.port.{metric}"
+            assert reg_fast.counter(name).value == reg_slow.counter(name).value

@@ -203,3 +203,44 @@ class TestMovingProximity:
     def test_invalid_thresholds(self):
         with pytest.raises(ValueError):
             MovingProximityDiscoverer(BOX, 0.0, 10.0)
+
+
+class TestDiscoveryObservability:
+    """Per-run reporting and counter parity between the discoverers."""
+
+    def _region_ld(self, registry=None):
+        regions = [square_region("r1", 2.0, 2.0), square_region("r2", 6.0, 6.0)]
+        return RegionLinkDiscoverer(regions, BOX, cell_deg=1.0, use_masks=True, registry=registry)
+
+    def test_mask_pruned_is_per_run_not_cumulative(self):
+        # Regression: discover() used to report the masks' *cumulative*
+        # stats.pruned, so a second run on the same discoverer inflated
+        # its mask_pruned by everything the first run already pruned.
+        ld = self._region_ld()
+        fixes = [fix(float(i), 0.5 + (i % 20) * 0.5, 0.5 + (i % 17) * 0.55) for i in range(200)]
+        first = ld.discover(fixes)
+        second = ld.discover(fixes)
+        assert first.mask_pruned > 0
+        assert second.mask_pruned == first.mask_pruned
+        assert ld.masks.stats.pruned == first.mask_pruned + second.mask_pruned
+
+    def test_entities_counter_parity_region_vs_port(self):
+        # Both discoverers count an entity on entry — before pruning or
+        # refinement — so their `entities` counters are comparable even
+        # when no fix produces a link.
+        from repro.obs import MetricsRegistry
+
+        reg_region, reg_port = MetricsRegistry(), MetricsRegistry()
+        region_ld = self._region_ld(registry=reg_region)
+        ports = [Port("p1", "P1", "ES", GeoPoint(5.0, 5.0), 1000.0)]
+        port_ld = PortLinkDiscoverer(ports, BOX, threshold_m=1000.0, cell_deg=0.5, registry=reg_port)
+        fixes = [fix(float(i), 9.5, 9.5) for i in range(7)]  # far from everything
+        assert region_ld.discover(fixes).links == []
+        assert port_ld.discover(fixes).links == []
+        assert reg_region.counter("linkdiscovery.region.entities").value == 7
+        assert reg_port.counter("linkdiscovery.port.entities").value == 7
+        for n, f in enumerate(fixes, start=8):
+            port_ld.links_for(f)
+            region_ld.links_for(f)
+        assert reg_region.counter("linkdiscovery.region.entities").value == 14
+        assert reg_port.counter("linkdiscovery.port.entities").value == 14

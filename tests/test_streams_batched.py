@@ -26,6 +26,7 @@ from repro.streams import (
     KeyBy,
     KeyedProcess,
     Map,
+    MapBatch,
     Pipeline,
     Record,
     Topic,
@@ -193,6 +194,27 @@ class TestProcessBatchEquivalence:
         assert batch_op.probe.records_in.value == scalar_op.probe.records_in.value
         assert batch_op.probe.records_out.value == scalar_op.probe.records_out.value
         assert batch_op.probe.batches.value <= scalar_op.probe.batches.value
+
+
+class TestMapBatchEquivalence:
+    """MapBatch runs a whole-batch kernel; one-element batches are the oracle."""
+
+    @given(elements=element_lists)
+    @settings(max_examples=40)
+    def test_batch_kernel_matches_per_record(self, elements):
+        kernel = lambda values: [v * 2 + 1 for v in values]  # noqa: E731
+        scalar_op, batch_op = MapBatch(kernel), MapBatch(kernel)
+        out_scalar = scalar_op.process_many(elements)
+        out_batch = batch_op.process_batch(elements)
+        assert _normalize(out_batch) == _normalize(out_scalar)
+        assert _stats_tuple(batch_op) == _stats_tuple(scalar_op)
+
+    def test_length_mismatch_rejected(self):
+        bad = MapBatch(lambda values: values[:-1])
+        with pytest.raises(ValueError):
+            bad.process_batch([Record(0.0, 1), Record(1.0, 2)])
+        with pytest.raises(ValueError):
+            bad.process_many([Record(0.0, 1)])
 
 
 class TestPipelineRunEquivalence:
