@@ -42,6 +42,8 @@ Besides the usual ``BENCH_obs.json`` snapshot, this bench persists
 from __future__ import annotations
 
 import json
+import os
+import platform
 import random
 import statistics
 from pathlib import Path
@@ -63,10 +65,12 @@ from repro.streams import (
     Pipeline,
     Record,
     ShardedPipeline,
+    ShardWorkerPool,
     TumblingWindow,
     WatermarkAssigner,
     mean_aggregate,
     merge_shard_outputs,
+    run_sharded,
 )
 from repro.synopses import SynopsesGenerator
 
@@ -86,7 +90,24 @@ WINDOW = STConstraint(BBox(8.0, 36.0, 12.0, 39.0), 0.0, 2 * 3600.0)
 _RESULTS: dict[str, dict] = {}
 
 
+def _provenance() -> dict:
+    """Host facts every floor comparison needs to be interpretable."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "workload_scale": {
+            "broker_records": N_RECORDS,
+            "sharded_shards": N_SHARDS,
+            "pool_rounds": POOL_ROUNDS,
+            "pool_round_records": POOL_ROUND_RECORDS,
+            "pool_warmup_rounds": POOL_WARMUP_ROUNDS,
+        },
+    }
+
+
 def _persist() -> Path:
+    _RESULTS["provenance"] = _provenance()
     path = Path(__file__).resolve().parents[1] / "BENCH_throughput.json"
     path.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
     return path
@@ -486,6 +507,114 @@ def test_sharded_pipeline_throughput(console, benchmark, emit_metrics):
         _shard_stage_pipeline, N_SHARDS, watermark_factory=_shard_assigner
     ).run_to_end(records))
     emit_metrics(registry, benchmark, title="sharded substrate (critical-path balance)")
+
+
+# -- worker pool: steady-state repeated runs vs fork-per-run -----------------------
+
+POOL_ROUNDS = 8
+POOL_ROUND_RECORDS = 2_000
+POOL_WARMUP_ROUNDS = 2
+
+
+def _pool_round_records(round_idx: int) -> list[Record]:
+    base = round_idx * POOL_ROUND_RECORDS
+    rng = random.Random(1_000 + round_idx)
+    keys = [f"vessel-{i:03d}" for i in range(N_KEYS)]
+    return [
+        Record(float(base + i), base + i, key=keys[rng.randrange(N_KEYS)])
+        for i in range(POOL_ROUND_RECORDS)
+    ]
+
+
+def test_pool_steadystate_throughput(console, benchmark, emit_metrics):
+    """N repeated incremental requests: the persistent pool keeps the
+    replica state alive between rounds, so serving round ``i`` is one
+    batched IPC exchange over the new chunk only. The stateless
+    fork-per-run twin must spawn fresh workers, rebuild the replicas,
+    and reprocess the whole prefix to answer the same request. Both
+    paths get POOL_WARMUP_ROUNDS untimed rounds; the pool rounds are
+    byte-identical to an in-process sequential oracle fed the same
+    chunks, and the final cumulative streams of the two timed paths
+    must agree."""
+    rounds = [_pool_round_records(i) for i in range(POOL_WARMUP_ROUNDS + POOL_ROUNDS)]
+    fork_times: list[float] = []
+    fork_out: list[Record] = []
+    prefix: list[Record] = []
+    for i, chunk in enumerate(rounds):
+        prefix = prefix + chunk
+        start = perf_counter()
+        fork_out = run_sharded(
+            _shard_stage_pipeline, prefix, N_SHARDS,
+            watermark_factory=_shard_assigner, parallel=True,
+        )
+        elapsed = perf_counter() - start
+        if i >= POOL_WARMUP_ROUNDS:
+            fork_times.append(elapsed)
+    pool_times: list[float] = []
+    pool_out: list[Record] = []
+    oracle = ShardedPipeline(
+        _shard_stage_pipeline, N_SHARDS, watermark_factory=_shard_assigner
+    )
+    with ShardWorkerPool(
+        _shard_stage_pipeline, N_SHARDS, watermark_factory=_shard_assigner
+    ) as pool:
+        for i, chunk in enumerate(rounds):
+            start = perf_counter()
+            out = pool.run(chunk)
+            elapsed = perf_counter() - start
+            # Determinism: every pooled round matches the in-process oracle.
+            assert _canonical(out) == _canonical(oracle.run(chunk))
+            pool_out.extend(out)
+            if i >= POOL_WARMUP_ROUNDS:
+                pool_times.append(elapsed)
+        tail = pool.finish()
+        assert _canonical(tail) == _canonical(oracle.finish())
+        pool_out.extend(tail)
+        setup_s = sum(pool.setup_seconds())
+    # Both timed paths describe the same cumulative stream.
+    assert sorted(_canonical(pool_out)) == sorted(_canonical(fork_out))
+    fork_s = statistics.median(fork_times)
+    pool_s = statistics.median(pool_times)
+    speedup = fork_s / pool_s
+    _RESULTS["pool"] = {
+        "shards": N_SHARDS,
+        "rounds": POOL_ROUNDS,
+        "round_records": POOL_ROUND_RECORDS,
+        "warmup_rounds": POOL_WARMUP_ROUNDS,
+        "fork_per_run": {"round_s": fork_s, "final_prefix_records": len(prefix)},
+        "steadystate": {
+            "round_s": pool_s,
+            "records_s": POOL_ROUND_RECORDS / pool_s,
+            "speedup": speedup,
+        },
+        "setup_s": setup_s,
+    }
+    path = _persist()
+    registry = MetricsRegistry()
+    registry.gauge("throughput.pool.fork_per_run_round_s").set(fork_s)
+    registry.gauge("throughput.pool.steadystate.round_s").set(pool_s)
+    registry.gauge("throughput.pool.steadystate.speedup").set(speedup)
+    with console():
+        print(format_table(
+            f"Worker pool steady state, {POOL_ROUNDS} rounds x "
+            f"{POOL_ROUND_RECORDS:,} new records over {N_SHARDS} shards",
+            ["path", "round wall", "per-request rate"],
+            [
+                ["fork per request", f"{fork_s * 1e3:.1f} ms", f"{POOL_ROUND_RECORDS / fork_s:,.0f}"],
+                ["persistent pool", f"{pool_s * 1e3:.1f} ms", f"{POOL_ROUND_RECORDS / pool_s:,.0f}"],
+            ],
+            width=22,
+        ))
+        print(f"steady-state speedup: {speedup:.2f}x  -> {path.name}")
+    assert speedup > 2.0, f"pool steady state only {speedup:.2f}x fork-per-run"
+    with ShardWorkerPool(
+        _shard_stage_pipeline, N_SHARDS, watermark_factory=_shard_assigner
+    ) as bench_pool:
+        benchmark(lambda: run_sharded(
+            _shard_stage_pipeline, rounds[-1], N_SHARDS,
+            watermark_factory=_shard_assigner, pool=bench_pool,
+        ))
+        emit_metrics(registry, benchmark, title="worker pool (steady-state runs)")
 
 
 # -- distributed obs plane: merged harvest vs the single-shard oracle --------------

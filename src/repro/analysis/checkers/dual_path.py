@@ -20,6 +20,12 @@ convention load-bearing:
   ``parallel=False``, and anything taking ``n_shards`` must be named
   by a test that also constructs the ``n_shards=1`` single-shard
   oracle — the equivalence baseline sharded runs are checked against;
+* the same again for the persistent worker pool: a function with a
+  ``pool=`` parameter must branch on it (the poolless twin still
+  exists) and be named by a test exercising ``pool=None``, and one
+  with ``worker_pool=`` must branch on it and be named by a test
+  exercising ``worker_pool=False`` — the in-process replicas are the
+  determinism oracle the pool-backed path is checked against;
 * in subpackages that opt in via ``[dual_path]
   batch_suffix_packages`` in ``tools/layering.toml`` (the geo and
   link-discovery kernel layers), every public ``*_batch``
@@ -58,6 +64,7 @@ class DualPathChecker(Checker):
             findings.extend(self._vectorized_functions(source, tests))
             findings.extend(self._batched_operators(source, tests, parents))
             findings.extend(self._sharded_symbols(source, tests))
+            findings.extend(self._pool_symbols(source, tests))
             findings.extend(self._batch_suffix_functions(source, tests, all_defs, config))
         return findings
 
@@ -227,6 +234,72 @@ class DualPathChecker(Checker):
                         f"{symbol}() takes n_shards but no test references "
                         f"{anchor} alongside the n_shards=1 single-shard "
                         f"oracle — the shard-merge equivalence is unverified",
+                        symbol=f"{source.module}.{symbol}",
+                    )
+
+    # -- worker-pool twins -------------------------------------------------------
+
+    def _pool_symbols(self, source: SourceFile, tests: list[SourceFile]):
+        """``pool=`` / ``worker_pool=`` call sites must keep their in-process
+        twin (the determinism oracle) and a named equivalence test — the
+        worker-pool analogue of the ``parallel=``/``n_shards`` rules."""
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            arg_names = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+            owner = self._enclosing_class(source, node)
+            symbol = f"{owner}.{node.name}" if owner else node.name
+            anchor = owner or node.name
+            if "pool" in arg_names:
+                if not self._branches_on(node, "pool"):
+                    yield self.finding(
+                        "error",
+                        source.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        f"{symbol}() takes pool= but never branches on it — "
+                        f"the poolless in-process twin (the determinism "
+                        f"oracle) is gone",
+                        symbol=f"{source.module}.{symbol}",
+                    )
+                elif not any(
+                    anchor in t.text and "pool=None" in t.text for t in tests
+                ):
+                    yield self.finding(
+                        "error",
+                        source.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        f"{symbol}() has a worker-pool fast path but no test "
+                        f"references {anchor} with pool=None — the "
+                        f"pool/sequential equivalence is unverified",
+                        symbol=f"{source.module}.{symbol}",
+                    )
+            if "worker_pool" in arg_names:
+                if not self._branches_on(node, "worker_pool"):
+                    yield self.finding(
+                        "error",
+                        source.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        f"{symbol}() takes worker_pool= but never branches on "
+                        f"it — the in-process replica twin (the determinism "
+                        f"oracle) is gone",
+                        symbol=f"{source.module}.{symbol}",
+                    )
+                elif not any(
+                    anchor in t.text and "worker_pool=False" in t.text for t in tests
+                ):
+                    yield self.finding(
+                        "error",
+                        source.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        f"{symbol}() has a worker-pool fast path but no test "
+                        f"references {anchor} with worker_pool=False — the "
+                        f"pool-backed layer is never checked against the "
+                        f"in-process oracle",
                         symbol=f"{source.module}.{symbol}",
                     )
 

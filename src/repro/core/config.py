@@ -36,6 +36,12 @@ class SystemConfig:
     #: partition-local state (see repro.streams.sharding); 1 keeps the
     #: single-shard path — the determinism/equivalence oracle.
     n_shards: int = 1
+    #: Host shard replicas in long-lived worker processes
+    #: (repro.streams.workers) instead of in-process: replicas are built
+    #: once and served batched run requests over IPC, amortizing
+    #: startup across runs. False keeps the in-process replicas — the
+    #: determinism/equivalence oracle for the pool path.
+    worker_pool: bool = False
     #: Trace every Nth clean fix end to end (0 disables lineage tracing).
     trace_sample_every: int = 256
     #: Broker publishes coalesce into batches of this size (the columnar

@@ -30,6 +30,8 @@ the routing-balance number the sharded throughput floor gates).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Iterable
 
 from ..cep import TURN_ALPHABET, WayebEngine, north_to_south_reversal, turn_event_stream
@@ -55,6 +57,7 @@ from ..streams import (
     Broker,
     Consumer,
     Record,
+    WorkerHost,
     critical_path_speedup,
     merge_shard_outputs,
     shard_index,
@@ -85,6 +88,68 @@ def _drain_all(consumer: Consumer) -> list[Record]:
     return out
 
 
+@dataclass(slots=True)
+class _RealtimeReplica:
+    """Worker-side state of one pooled shard: the live replica layer, its
+    merge consumers, and the delta-harvest bookkeeping."""
+
+    layer: RealtimeLayer
+    consumers: dict[str, Consumer]
+    setup_s: float
+    prev_harvest: ObsHarvest | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class _RealtimeShardSpec:
+    """Picklable recipe for a pooled :class:`RealtimeLayer` shard replica.
+
+    Hosted by :class:`repro.streams.workers.WorkerHost`: only the
+    :class:`SystemConfig` crosses the process boundary — the replica and
+    everything stateful is built inside the worker, once, and served
+    repeated ``("run", fixes)`` requests. Each response ships the
+    shard's cumulative report, that run's new topic records (drained
+    through worker-local merge consumers, exactly like the in-process
+    path's long-lived consumer groups) and the per-run delta
+    :class:`~repro.obs.ObsHarvest`.
+    """
+
+    config: SystemConfig
+
+    def setup(self, shard: int) -> _RealtimeReplica:
+        t0 = perf_counter()
+        layer = RealtimeLayer(self.config, enable_proximity=False)
+        consumers = {
+            topic: layer.broker.consumer(topic, "merge") for topic in _ALL_TOPICS
+        }
+        return _RealtimeReplica(
+            layer=layer, consumers=consumers, setup_s=perf_counter() - t0
+        )
+
+    def handle(self, shard: int, replica: _RealtimeReplica, request: Any) -> dict[str, Any]:
+        kind, fixes = request
+        if kind != "run":
+            raise ValueError(f"unknown realtime shard request {kind!r}")
+        layer = replica.layer
+        layer.run(fixes)
+        wall_s = layer.metrics.gauge("realtime.wall_s").value()
+        current = harvest_obs(
+            shard,
+            layer.metrics,
+            layer.events,
+            layer.tracer,
+            wall_seconds=wall_s,
+            setup_seconds=replica.setup_s,
+        )
+        delta = current.delta(replica.prev_harvest)
+        replica.prev_harvest = current
+        return {
+            "report": layer.report,
+            "topics": {t: _drain_all(replica.consumers[t]) for t in _ALL_TOPICS},
+            "wall_s": wall_s,
+            "harvest": delta,
+        }
+
+
 class ShardedRealtimeLayer:
     """Entity-sharded real-time layer with a merged global stage.
 
@@ -95,15 +160,26 @@ class ShardedRealtimeLayer:
     :meth:`system_metrics` expose the shard-annotated observability view.
     """
 
-    def __init__(self, config: SystemConfig | None = None, cep_training_symbols: list[str] | None = None):
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        cep_training_symbols: list[str] | None = None,
+        worker_pool: bool | None = None,
+    ):
         self.config = config or SystemConfig()
         cfg = self.config
         self.n_shards = max(1, cfg.n_shards)
+        # Where the replicas live: worker_pool=False (the default, and
+        # the determinism oracle) keeps them in-process; worker_pool=True
+        # hosts each in a long-lived worker process that builds it once
+        # and serves batched run requests (repro.streams.workers).
+        self.use_worker_pool = cfg.worker_pool if worker_pool is None else worker_pool
         self.metrics = MetricsRegistry(seed=cfg.seed)
         self.events = EventLog(capacity=cfg.event_log_capacity)
         self.tracer = Tracer()
         # Last full (cumulative) harvest per shard: shard replicas live
         # in-process across runs, so each run folds only the *delta*.
+        # (Pooled replicas track this worker-side and ship deltas back.)
         self._prev_harvests: list[ObsHarvest | None] = [None] * self.n_shards
         # The merged broker: what the batch layer and the dashboard read.
         self.broker = Broker()
@@ -112,12 +188,26 @@ class ShardedRealtimeLayer:
         instrument_broker(self.broker, self.metrics)
         watch_broker(self.broker, self.events)
         # Replicas own every per-entity stage; proximity is global (below).
-        self.shards = [
-            RealtimeLayer(cfg, enable_proximity=False) for _ in range(self.n_shards)
-        ]
+        self.shards: list[RealtimeLayer] = []
+        self._hosts: list[WorkerHost] | None = None
+        self._setup_s = [0.0] * self.n_shards
+        # Parent-side mirror of the pooled shards' cumulative accounting
+        # (reports and walls live inside the workers); unused in-process.
+        self._pool_reports = [RealtimeReport() for _ in range(self.n_shards)]
+        self._pool_walls = [0.0] * self.n_shards
+        if self.use_worker_pool:
+            spec = _RealtimeShardSpec(cfg)
+            self._hosts = [WorkerHost(spec, i) for i in range(self.n_shards)]
+            self._setup_s = [host.setup_s for host in self._hosts]
+        else:
+            for _ in range(self.n_shards):
+                t0 = perf_counter()
+                self.shards.append(RealtimeLayer(cfg, enable_proximity=False))
+                self._setup_s[len(self.shards) - 1] = perf_counter() - t0
         # Group offsets live on the Consumer object, not in the broker, so
         # the merge consumers must be long-lived for repeated runs to only
-        # merge (and re-publish, and dashboard-ingest) new records.
+        # merge (and re-publish, and dashboard-ingest) new records. Pooled
+        # replicas keep the equivalent consumers inside their workers.
         self._merge_consumers = {
             (i, topic): shard.broker.consumer(topic, "merge")
             for i, shard in enumerate(self.shards)
@@ -151,19 +241,36 @@ class ShardedRealtimeLayer:
             name: OperatorProbe(self.metrics, name)
             for name in ("proximity", "cep")
         }
-        for i, shard in enumerate(self.shards):
-            self._register_shard_gauges(i, shard)
+        for i in range(self.n_shards):
+            self._register_shard_gauges(i)
         self.metrics.gauge("shard.count", fn=lambda: float(self.n_shards))
         self.metrics.gauge("shard.balance", fn=self.balance)
         self.report = RealtimeReport()
 
-    def _register_shard_gauges(self, i: int, shard: RealtimeLayer) -> None:
+    def _register_shard_gauges(self, i: int) -> None:
         base = f"shard.{i}"
-        self.metrics.gauge(f"{base}.raw_fixes", fn=lambda s=shard: float(s.report.raw_fixes))
-        self.metrics.gauge(f"{base}.clean_fixes", fn=lambda s=shard: float(s.report.clean_fixes))
-        self.metrics.gauge(f"{base}.critical_points", fn=lambda s=shard: float(s.report.critical_points))
-        self.metrics.gauge(f"{base}.links", fn=lambda s=shard: float(s.report.links))
-        self.metrics.gauge(f"{base}.wall_s", fn=lambda s=shard: s.metrics.gauge("realtime.wall_s").value())
+        self.metrics.gauge(f"{base}.raw_fixes", fn=lambda i=i: float(self.shard_reports()[i].raw_fixes))
+        self.metrics.gauge(f"{base}.clean_fixes", fn=lambda i=i: float(self.shard_reports()[i].clean_fixes))
+        self.metrics.gauge(f"{base}.critical_points", fn=lambda i=i: float(self.shard_reports()[i].critical_points))
+        self.metrics.gauge(f"{base}.links", fn=lambda i=i: float(self.shard_reports()[i].links))
+        self.metrics.gauge(f"{base}.wall_s", fn=lambda i=i: self.shard_walls()[i])
+
+    def shard_reports(self) -> list[RealtimeReport]:
+        """Per-shard cumulative reports, wherever the replicas live."""
+        if self._hosts is not None:
+            return list(self._pool_reports)
+        return [s.report for s in self.shards]
+
+    def shard_walls(self) -> list[float]:
+        """Per-shard cumulative run walls (replica setup excluded)."""
+        if self._hosts is not None:
+            return list(self._pool_walls)
+        return [s.metrics.gauge("realtime.wall_s").value() for s in self.shards]
+
+    def shard_setups(self) -> list[float]:
+        """Per-shard replica build seconds — the one-off cost the worker
+        pool amortizes, reported apart from run walls on both paths."""
+        return list(self._setup_s)
 
     def balance(self) -> float:
         """Aggregate-over-slowest shard work ratio (ideal: ``n_shards``).
@@ -171,7 +278,7 @@ class ShardedRealtimeLayer:
         Work is measured in clean fixes routed to each shard — the
         routing-balance counterpart of the bench's critical-path speedup.
         """
-        counts = [s.report.clean_fixes for s in self.shards]
+        counts = [r.clean_fixes for r in self.shard_reports()]
         slowest = max(counts, default=0)
         if slowest <= 0:
             return 0.0
@@ -189,10 +296,13 @@ class ShardedRealtimeLayer:
         routed: list[list[PositionFix]] = [[] for _ in range(self.n_shards)]
         for fix in fixes:
             routed[self.shard_for(fix.entity_id)].append(fix)
-        for shard, sub_stream in zip(self.shards, routed):
-            shard.run(sub_stream)
-        self._fold_shard_obs()
-        merged = self._merge_topics()
+        if self._hosts is not None:
+            merged = self._run_pooled(routed)
+        else:
+            for shard, sub_stream in zip(self.shards, routed):
+                shard.run(sub_stream)
+            self._fold_shard_obs()
+            merged = self._merge_topics()
         report = self._merged_report()
         # The merged-stream consumer is where the paper's headline number
         # lives on the sharded path: ingest wall stamp (record provenance,
@@ -251,6 +361,41 @@ class ShardedRealtimeLayer:
         )
         return report
 
+    def _run_pooled(self, routed: list[list[PositionFix]]) -> dict[str, list[Record]]:
+        """Scatter one batched frame per shard worker, gather, fold, merge.
+
+        Each response carries the shard's new topic records and a per-run
+        delta harvest — folded here exactly as :meth:`_fold_shard_obs`
+        folds the in-process replicas' deltas, so the merged counters
+        match the oracle's byte for byte.
+        """
+        assert self._hosts is not None
+        for host, sub_stream in zip(self._hosts, routed):
+            host.send(("run", sub_stream))
+        responses = [host.receive() for host in self._hosts]
+        deltas: list[ObsHarvest] = []
+        for i, resp in enumerate(responses):
+            self._pool_reports[i] = resp["report"]
+            self._pool_walls[i] = resp["wall_s"]
+            deltas.append(resp["harvest"])
+        fold_harvests(self.metrics, deltas, events=self.events, tracer=self.tracer)
+        return {
+            topic: merge_shard_outputs([resp["topics"][topic] for resp in responses])
+            for topic in _ALL_TOPICS
+        }
+
+    def close(self) -> None:
+        """Shut pooled shard workers down cleanly (no-op in-process)."""
+        if self._hosts is not None:
+            for host in self._hosts:
+                host.close()
+
+    def __enter__(self) -> "ShardedRealtimeLayer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
     def _fold_shard_obs(self) -> None:
         """Harvest every replica's obs state and fold it into the layer.
 
@@ -270,16 +415,16 @@ class ShardedRealtimeLayer:
                 shard.events,
                 shard.tracer,
                 wall_seconds=shard.metrics.gauge("realtime.wall_s").value(),
+                setup_seconds=self._setup_s[i],
             )
             deltas.append(current.delta(self._prev_harvests[i]))
             self._prev_harvests[i] = current
         fold_harvests(self.metrics, deltas, events=self.events, tracer=self.tracer)
 
     def critical_path_speedup(self) -> float:
-        """Aggregate shard compute over the slowest shard (cumulative walls)."""
-        return critical_path_speedup(
-            [s.metrics.gauge("realtime.wall_s").value() for s in self.shards]
-        )
+        """Aggregate shard compute over the slowest shard (cumulative run
+        walls; replica setup is tracked apart, see :meth:`shard_setups`)."""
+        return critical_path_speedup(self.shard_walls())
 
     def _merge_topics(self) -> dict[str, list[Record]]:
         """Canonically merge every shard topic: the ``(t, key)`` stable merge.
@@ -300,8 +445,7 @@ class ShardedRealtimeLayer:
         """Layer-wide counters: per-entity stages summed across shards."""
         report = RealtimeReport()
         quality = QualityReport()
-        for shard in self.shards:
-            r = shard.report
+        for r in self.shard_reports():
             report.raw_fixes += r.raw_fixes
             report.clean_fixes += r.clean_fixes
             report.critical_points += r.critical_points
@@ -324,11 +468,11 @@ class ShardedRealtimeLayer:
         snap["events"] = self.events.snapshot()
         snap["shards"] = [
             {
-                "raw_fixes": s.report.raw_fixes,
-                "clean_fixes": s.report.clean_fixes,
-                "critical_points": s.report.critical_points,
-                "links": s.report.links,
+                "raw_fixes": r.raw_fixes,
+                "clean_fixes": r.clean_fixes,
+                "critical_points": r.critical_points,
+                "links": r.links,
             }
-            for s in self.shards
+            for r in self.shard_reports()
         ]
         return snap

@@ -147,6 +147,10 @@ class ObsHarvest:
     events: tuple[dict[str, Any], ...] = ()
     spans: tuple[Span, ...] = ()
     wall_seconds: float = 0.0
+    #: One-off replica construction cost (factory + instrumentation),
+    #: reported apart from ``wall_seconds`` so critical-path speedups
+    #: compare steady-state compute, not process startup.
+    setup_seconds: float = 0.0
 
     def delta(self, prev: "ObsHarvest | None") -> "ObsHarvest":
         """What happened since ``prev`` (for in-process shards re-harvested
@@ -192,6 +196,7 @@ class ObsHarvest:
             events=tuple(e for e in self.events if int(e["seq"]) > last_seq),
             spans=self.spans[len(prev.spans):],
             wall_seconds=max(0.0, self.wall_seconds - prev.wall_seconds),
+            setup_seconds=max(0.0, self.setup_seconds - prev.setup_seconds),
         )
 
 
@@ -201,6 +206,7 @@ def harvest_obs(
     events: EventLog | None = None,
     tracer: Tracer | None = None,
     wall_seconds: float = 0.0,
+    setup_seconds: float = 0.0,
 ) -> ObsHarvest:
     """Package one shard's live observability objects into a harvest."""
     return ObsHarvest(
@@ -209,6 +215,7 @@ def harvest_obs(
         events=tuple(e.to_dict() for e in events.events()) if events is not None else (),
         spans=tuple(tracer.spans()) if tracer is not None else (),
         wall_seconds=float(wall_seconds),
+        setup_seconds=float(setup_seconds),
     )
 
 
@@ -266,6 +273,10 @@ def fold_harvests(
             _set_gauge(registry, f"shard.{h.shard}.{name}", value)
             gauge_values.setdefault(name, []).append(value)
         _set_gauge(registry, f"shard.{h.shard}.wall_s", h.wall_seconds)
+        # Delta harvests carry setup only in the run that built the
+        # replica; zero deltas must not clobber the recorded cost.
+        if h.setup_seconds > 0.0:
+            _set_gauge(registry, f"shard.{h.shard}.setup_s", h.setup_seconds)
     for name, values in sorted(gauge_values.items()):
         rule = _gauge_rule(name, gauge_rules)
         if rule == "sum":
@@ -324,18 +335,31 @@ class ShardObsWorker:
             instrument_pipeline(pipeline, obs.registry)
         return obs
 
-    def harvest(self, shard: int, obs: _ShardObs, wall_seconds: float) -> ObsHarvest:
+    def harvest(
+        self,
+        shard: int,
+        obs: _ShardObs,
+        wall_seconds: float,
+        setup_seconds: float = 0.0,
+    ) -> ObsHarvest:
         """Freeze the shard's obs state; adds a synthetic ``shard.run`` span.
 
         The span is stamped on a shard-local zero-based clock (worker
         ``perf_counter`` origins are not comparable across processes), so
         its duration — the shard's wall — is the meaningful part.
+        ``setup_seconds`` (replica build cost) travels beside the wall,
+        never inside it.
         """
         root = obs.tracer.start_trace("shard.run", shard=shard)
         root.start = 0.0
         root.end = float(wall_seconds)
         return harvest_obs(
-            shard, obs.registry, obs.events, obs.tracer, wall_seconds=wall_seconds
+            shard,
+            obs.registry,
+            obs.events,
+            obs.tracer,
+            wall_seconds=wall_seconds,
+            setup_seconds=setup_seconds,
         )
 
 
@@ -389,11 +413,27 @@ class ShardedObsPlane:
                 walls[int(head)] = value
         return [walls[i] for i in sorted(walls)]
 
+    def shard_setups(self) -> list[float]:
+        """Per-shard replica build seconds (``shard.<i>.setup_s``), in
+        shard order. Missing shards read 0.0 — a shard that never
+        reported setup cost (e.g. a pre-built in-process replica) is
+        indistinguishable from a free one, which is the right default
+        for speedup math."""
+        setups: dict[int, float] = {}
+        for name, value in self.registry.gauges("shard.").items():
+            head, _, tail = name[len("shard."):].partition(".")
+            if tail == "setup_s" and head.isdigit():
+                setups[int(head)] = value
+        n = max(setups, default=-1) + 1
+        return [setups.get(i, 0.0) for i in range(n)]
+
     def critical_path_speedup(self) -> float:
         """Aggregate shard compute over the slowest shard — the parallel
         path's headline number (same definition as
         ``repro.streams.sharding.critical_path_speedup``, recomputed here
-        because obs never imports streams)."""
+        because obs never imports streams). Walls exclude replica setup
+        (``shard.<i>.setup_s``) by construction — this is a steady-state
+        number."""
         walls = self.shard_walls()
         slowest = max(walls, default=0.0)
         if slowest <= 0.0:

@@ -21,6 +21,7 @@ from .sharding import (
     shard_index,
 )
 from .windows import SlidingWindow, TumblingWindow, WindowResult, count_aggregate, mean_aggregate
+from .workers import ShardWorkerDied, ShardWorkerError, ShardWorkerPool, WorkerHost
 
 __all__ = [
     "Broker",
@@ -38,9 +39,13 @@ __all__ = [
     "Pipeline",
     "Record",
     "ShardRouter",
+    "ShardWorkerDied",
+    "ShardWorkerError",
+    "ShardWorkerPool",
     "ShardedBroker",
     "ShardedPipeline",
     "SlidingWindow",
+    "WorkerHost",
     "StreamElement",
     "StreamStats",
     "TemporalLookupJoin",

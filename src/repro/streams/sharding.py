@@ -40,6 +40,7 @@ nothing, so the outputs are identical, only the wall clock changes.
 from __future__ import annotations
 
 import math
+from time import perf_counter
 from typing import Any, Callable, Iterable, Sequence
 
 from .broker import Broker, Consumer, Topic, _stable_hash
@@ -62,7 +63,9 @@ AssignerFactory = Callable[[], WatermarkAssigner]
 #   obs.worker                      picklable per-shard recipe, with
 #     .setup(shard, pipeline) -> s    shard-local obs state (parent or worker
 #                                     process; instruments the replica)
-#     .harvest(shard, s, wall) -> h   picklable harvest of that state
+#     .harvest(shard, s, wall,        picklable harvest of that state;
+#              setup_seconds=...)       replica build cost rides beside the
+#                                       wall, never inside it
 #   obs.fold(harvests)              parent-side merge, called once per run
 #
 # Only ``obs.worker`` ever crosses the fork boundary.
@@ -211,18 +214,22 @@ class ShardedPipeline:
             raise ValueError("a sharded pipeline needs at least one shard")
         self.n_shards = n_shards
         self.router = ShardRouter(n_shards)
-        self.pipelines = [factory() for _ in range(n_shards)]
-        self.assigners = (
-            [watermark_factory() for _ in range(n_shards)]
-            if watermark_factory is not None
-            else None
-        )
         self.obs = obs  # duck-typed observability plane, see module comment
-        self._shard_obs = (
-            [obs.worker.setup(i, p) for i, p in enumerate(self.pipelines)]
-            if obs is not None
-            else None
+        self.pipelines: list[Pipeline] = []
+        self.assigners: list[WatermarkAssigner] | None = (
+            [] if watermark_factory is not None else None
         )
+        self._shard_obs: list[Any] | None = [] if obs is not None else None
+        self._setup_s: list[float] = []
+        for shard in range(n_shards):
+            t0 = perf_counter()
+            pipeline = factory()
+            self.pipelines.append(pipeline)
+            if self.assigners is not None:
+                self.assigners.append(watermark_factory())
+            if self._shard_obs is not None:
+                self._shard_obs.append(obs.worker.setup(shard, pipeline))
+            self._setup_s.append(perf_counter() - t0)
         self._finished = False
 
     def run(self, elements: Iterable[StreamElement], batch_size: int | None = None) -> list[Record]:
@@ -255,7 +262,12 @@ class ShardedPipeline:
         if self.obs is not None and self._shard_obs is not None:
             self.obs.fold(
                 [
-                    self.obs.worker.harvest(shard, state, self.pipelines[shard].wall_seconds)
+                    self.obs.worker.harvest(
+                        shard,
+                        state,
+                        self.pipelines[shard].wall_seconds,
+                        setup_seconds=self._setup_s[shard],
+                    )
                     for shard, state in enumerate(self._shard_obs)
                 ]
             )
@@ -278,8 +290,17 @@ class ShardedPipeline:
         return min(a.current_watermark() for a in self.assigners)
 
     def wall_seconds(self) -> list[float]:
-        """Per-shard wall seconds spent inside pipeline runs."""
+        """Per-shard wall seconds spent inside pipeline runs (setup excluded)."""
         return [p.wall_seconds for p in self.pipelines]
+
+    def setup_seconds(self) -> list[float]:
+        """Per-shard replica build seconds (factory + instrumentation).
+
+        Reported apart from :meth:`wall_seconds` so
+        :meth:`critical_path_speedup` compares steady-state compute —
+        startup is a one-off cost the worker-pool path amortizes away.
+        """
+        return list(self._setup_s)
 
     def records_processed(self) -> list[int]:
         """Per-shard record counts (the routing balance)."""
@@ -341,15 +362,20 @@ def _run_one_shard(
     Returns the shard's output records, its wall seconds, and — when an
     obs worker rode along — a picklable :class:`~repro.obs.harvest.
     ObsHarvest` of everything the shard measured, so the parent can fold
-    it instead of losing it with the process.
+    it instead of losing it with the process. Replica build cost is
+    timed separately and travels as the harvest's ``setup_seconds`` —
+    it must never inflate the run wall the critical-path speedup is
+    computed from.
     """
     factory, elements, watermark_factory, batch_size, shard, obs_worker = payload
+    t0 = perf_counter()
     pipeline = factory()
     shard_obs = obs_worker.setup(shard, pipeline) if obs_worker is not None else None
     assigner = watermark_factory() if watermark_factory is not None else None
+    setup_s = perf_counter() - t0
     out = pipeline.run(elements, watermarks=assigner, flush=True, batch_size=batch_size)
     harvest = (
-        obs_worker.harvest(shard, shard_obs, pipeline.wall_seconds)
+        obs_worker.harvest(shard, shard_obs, pipeline.wall_seconds, setup_seconds=setup_s)
         if obs_worker is not None
         else None
     )
@@ -365,24 +391,47 @@ def run_sharded(
     parallel: bool = False,
     processes: int | None = None,
     obs: Any = None,
+    pool: Any = None,
 ) -> list[Record]:
     """One-shot sharded execution of a bounded stream; returns merged output.
 
-    ``parallel=False`` (the default, and the determinism oracle) runs the
-    shards sequentially in-process via :class:`ShardedPipeline`.
-    ``parallel=True`` forks one worker per shard with ``multiprocessing``
-    — shards share nothing, so the merged output is identical; ``factory``
-    and ``watermark_factory`` must then be module-level callables and the
-    record values picklable. With ``n_shards=1`` both paths reduce to the
-    plain unsharded :meth:`Pipeline.run`.
+    ``parallel=False`` with ``pool=None`` (the default, and the
+    determinism oracle) runs the shards sequentially in-process via
+    :class:`ShardedPipeline`. ``parallel=True`` forks one worker per
+    shard with ``multiprocessing`` — shards share nothing, so the merged
+    output is identical; ``factory`` and ``watermark_factory`` must then
+    be module-level callables and the record values picklable. With
+    ``n_shards=1`` both paths reduce to the plain unsharded
+    :meth:`Pipeline.run`.
+
+    ``pool`` takes a persistent :class:`~repro.streams.workers.
+    ShardWorkerPool` whose long-lived worker processes already hold the
+    shard replicas: the one-shot run becomes run + finish + reset, so
+    repeated calls amortize fork and replica-build cost. The pool must
+    have been built from the same factories and shard count — the merged
+    output is byte-identical to the sequential oracle either way.
 
     ``obs`` takes a duck-typed observability plane (see module comment;
     concretely :class:`repro.obs.harvest.ShardedObsPlane`): both paths
     instrument each shard replica, harvest its metrics/events/traces and
     fold them into the plane's parent-side registry — including each
     shard's wall seconds as ``shard.<i>.wall_s``, so the critical-path
-    speedup is computable on the parallel path too.
+    speedup is computable on the parallel path too. A pool folds into
+    its *own* plane, so ``obs`` and ``pool`` are mutually exclusive.
     """
+    if pool is not None:
+        if pool.n_shards != n_shards:
+            raise ValueError(
+                f"pool has {pool.n_shards} shards, run_sharded asked for {n_shards}"
+            )
+        if obs is not None:
+            raise ValueError(
+                "pass the obs plane to ShardWorkerPool(obs=...), not alongside pool="
+            )
+        body = pool.run(elements, batch_size=batch_size)
+        tail = pool.finish()
+        pool.reset()
+        return merge_shard_outputs([body, tail])
     if not parallel:
         sharded = ShardedPipeline(
             factory, n_shards, watermark_factory=watermark_factory, obs=obs

@@ -601,6 +601,88 @@ class TestDualPathChecker:
         result2 = run_analysis(root2, checks=["dual-path"])
         assert new_findings_of(result2, "dual-path") == []
 
+    def test_pool_without_branch_fires(self, tmp_path):
+        root = write_project(
+            tmp_path,
+            {
+                "src/repro/streams/runner.py": (
+                    "def run_it(items, pool=None):\n"
+                    "    return list(items)\n"
+                ),
+            },
+        )
+        result = run_analysis(root, checks=["dual-path"])
+        messages = [f.message for f in new_findings_of(result, "dual-path")]
+        assert any("poolless in-process twin" in m for m in messages)
+
+    def test_pool_without_equivalence_test_fires(self, tmp_path):
+        runner = (
+            "def run_it(items, pool=None):\n"
+            "    if pool is not None:\n"
+            "        return pool.run(items)\n"
+            "    return list(items)\n"
+        )
+        root = write_project(tmp_path, {"src/repro/streams/runner.py": runner})
+        result = run_analysis(root, checks=["dual-path"])
+        assert any(
+            "pool=None" in f.message for f in new_findings_of(result, "dual-path")
+        )
+        # A test driving the poolless oracle satisfies it.
+        root2 = write_project(
+            tmp_path / "ok",
+            {
+                "src/repro/streams/runner.py": runner,
+                "tests/test_runner.py": (
+                    "def test_twins(pool):\n"
+                    "    assert run_it([1], pool=pool) == run_it([1], pool=None)\n"
+                ),
+            },
+        )
+        result2 = run_analysis(root2, checks=["dual-path"])
+        assert new_findings_of(result2, "dual-path") == []
+
+    def test_worker_pool_without_branch_fires(self, tmp_path):
+        root = write_project(
+            tmp_path,
+            {
+                "src/repro/core/layer.py": (
+                    "class Layer:\n"
+                    "    def __init__(self, worker_pool=False):\n"
+                    "        self.shards = []\n"
+                ),
+            },
+        )
+        result = run_analysis(root, checks=["dual-path"])
+        messages = [f.message for f in new_findings_of(result, "dual-path")]
+        assert any("in-process replica twin" in m for m in messages)
+
+    def test_worker_pool_without_oracle_test_fires(self, tmp_path):
+        layer = (
+            "class Layer:\n"
+            "    def __init__(self, worker_pool=False):\n"
+            "        self.pooled = bool(worker_pool)\n"
+        )
+        root = write_project(tmp_path, {"src/repro/core/layer.py": layer})
+        result = run_analysis(root, checks=["dual-path"])
+        assert any(
+            "worker_pool=False" in f.message
+            for f in new_findings_of(result, "dual-path")
+        )
+        # A test checking against the in-process oracle satisfies it.
+        root2 = write_project(
+            tmp_path / "ok",
+            {
+                "src/repro/core/layer.py": layer,
+                "tests/test_layer.py": (
+                    "def test_oracle():\n"
+                    "    assert Layer(worker_pool=True).pooled != "
+                    "Layer(worker_pool=False).pooled\n"
+                ),
+            },
+        )
+        result2 = run_analysis(root2, checks=["dual-path"])
+        assert new_findings_of(result2, "dual-path") == []
+
 
 class TestHygieneChecker:
     def test_mutable_default_bare_except_swallow(self, tmp_path):

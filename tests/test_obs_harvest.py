@@ -70,7 +70,7 @@ def nonshard_counters(registry: MetricsRegistry) -> dict[str, int]:
 # -- harvest / snapshot plumbing ----------------------------------------------------
 
 
-def make_harvest(shard: int, counters=(), gauges=(), observations=(), wall=0.0) -> ObsHarvest:
+def make_harvest(shard: int, counters=(), gauges=(), observations=(), wall=0.0, setup=0.0) -> ObsHarvest:
     registry = MetricsRegistry()
     for name, value in counters:
         registry.counter(name).inc(value)
@@ -80,7 +80,7 @@ def make_harvest(shard: int, counters=(), gauges=(), observations=(), wall=0.0) 
         h = registry.histogram(name)
         for v in values:
             h.observe(v)
-    return harvest_obs(shard, registry, wall_seconds=wall)
+    return harvest_obs(shard, registry, wall_seconds=wall, setup_seconds=setup)
 
 
 def test_snapshot_materializes_callback_gauges():
@@ -140,6 +140,88 @@ def test_delta_subtracts_counters_and_filters_events():
 def test_delta_against_none_is_identity():
     harvest = make_harvest(0, counters=[("op.x.records_in", 3)], wall=1.0)
     assert harvest.delta(None) is harvest
+
+
+def test_delta_subtracts_setup_seconds():
+    """Setup cost is cumulative like the wall: only the run that (re)built
+    the replica carries it in its delta, so folds never double-count it."""
+    registry = MetricsRegistry()
+    first = harvest_obs(0, registry, wall_seconds=1.0, setup_seconds=0.25)
+    second = harvest_obs(0, registry, wall_seconds=1.5, setup_seconds=0.25)
+    delta = second.delta(first)
+    assert delta.setup_seconds == 0.0
+    assert first.delta(None).setup_seconds == 0.25
+
+
+def test_fold_sets_setup_gauge_and_zero_deltas_keep_it():
+    registry = MetricsRegistry()
+    fold_harvests(registry, [make_harvest(0, wall=1.0, setup=0.25)])
+    assert registry.gauge("shard.0.setup_s").value() == 0.25
+    # A later delta with zero setup must not clobber the recorded cost.
+    fold_harvests(registry, [make_harvest(0, wall=0.5)])
+    assert registry.gauge("shard.0.setup_s").value() == 0.25
+
+
+# Dyadic observation values (quarters, bounded): float addition and
+# subtraction over them is exact, so the delta-fold identity below can
+# demand bit-equality on histogram sums, not just approximation.
+dyadic_quarters = st.integers(min_value=-4_000, max_value=4_000).map(lambda n: n / 4.0)
+
+_COUNTER_NAMES = ("op.a.records_in", "op.b.records_out", "stage.raw.records")
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.lists(
+                st.tuples(st.sampled_from(_COUNTER_NAMES), st.integers(0, 1_000)),
+                max_size=4,
+            ),
+            st.lists(dyadic_quarters, max_size=8),
+        ),
+        min_size=3,
+        max_size=6,
+    )
+)
+def test_delta_folds_across_runs_equal_one_shot_harvest(runs):
+    """Satellite contract: >= 3 consecutive runs of one long-lived
+    replica, harvested as deltas and folded run by run, must equal the
+    one-shot cumulative harvest exactly — counters bit-equal, histogram
+    count/sum/min/max exact."""
+    registry = MetricsRegistry()
+    prev = None
+    deltas = []
+    for i, (counter_incs, observations) in enumerate(runs):
+        for name, by in counter_incs:
+            registry.counter(name).inc(by)
+        h = registry.histogram("op.a.latency_s")
+        for v in observations:
+            h.observe(v)
+        current = harvest_obs(
+            0, registry, wall_seconds=0.5 * (i + 1), setup_seconds=0.25
+        )
+        deltas.append(current.delta(prev))
+        prev = current
+    one_shot = harvest_obs(
+        0, registry, wall_seconds=0.5 * len(runs), setup_seconds=0.25
+    )
+    folded, cumulative = MetricsRegistry(), MetricsRegistry()
+    for delta in deltas:
+        fold_harvests(folded, [delta])
+    fold_harvests(cumulative, [one_shot])
+    assert folded.counters() == cumulative.counters()
+    assert set(folded._histograms) == set(cumulative._histograms)
+    for name, expected in cumulative._histograms.items():
+        got = folded._histograms[name]
+        assert got.count == expected.count, name
+        assert got.sum == expected.sum, name
+        assert got.min == expected.min, name
+        assert got.max == expected.max, name
+    # Setup cost travels only in the replica-building run's delta, so the
+    # folded gauge equals the one-shot's instead of accumulating.
+    assert folded.gauge("shard.0.setup_s").value() == 0.25
+    assert cumulative.gauge("shard.0.setup_s").value() == 0.25
 
 
 # -- fold semantics ------------------------------------------------------------------

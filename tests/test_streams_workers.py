@@ -1,0 +1,301 @@
+"""Tests for the persistent shard worker pool (repro.streams.workers).
+
+The correctness story is the substrate's twin discipline: the sequential
+in-process ``ShardedPipeline`` (and ``run_sharded(..., pool=None,
+parallel=False)``) is the byte-identical determinism oracle — N pool
+runs against long-lived worker replicas must produce the same merged
+streams, the same watermarks, and fold the same obs counters as the
+oracle, across repeated incremental runs.
+"""
+
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.obs import ShardedObsPlane
+from repro.streams import (
+    Map,
+    Pipeline,
+    Record,
+    ShardedPipeline,
+    ShardWorkerDied,
+    ShardWorkerError,
+    ShardWorkerPool,
+    TumblingWindow,
+    WatermarkAssigner,
+    WorkerHost,
+    mean_aggregate,
+    run_sharded,
+)
+
+N_SHARDS = 3
+
+
+def keyed_records(n, n_keys=7, dt=1.0):
+    return [Record(i * dt, float(i), key=f"vessel-{i % n_keys}") for i in range(n)]
+
+
+def window_pipeline() -> Pipeline:
+    return Pipeline(
+        [Map(lambda v: v * 2 + 1), TumblingWindow(10.0, mean_aggregate)],
+        name="pool_test",
+    )
+
+
+def slow_setup_pipeline() -> Pipeline:
+    time.sleep(0.05)  # deliberate replica build cost, must never hit run walls
+    return Pipeline([Map(lambda v: v + 1)], name="slow_setup")
+
+
+def assigner() -> WatermarkAssigner:
+    return WatermarkAssigner(out_of_orderness_s=5.0)
+
+
+def canonical(records):
+    return [(r.t, r.key, r.value) for r in records]
+
+
+def chunked(records, n_chunks):
+    size = (len(records) + n_chunks - 1) // n_chunks
+    return [records[i: i + size] for i in range(0, len(records), size)]
+
+
+@dataclass(frozen=True)
+class EchoSpec:
+    """Minimal WorkerSpec for exercising the host protocol directly."""
+
+    def setup(self, shard):
+        return {"shard": shard}
+
+    def handle(self, shard, state, request):
+        if request == "boom":
+            raise ValueError("requested failure")
+        return (shard, request)
+
+
+class TestWorkerHost:
+    def test_lockstep_request_response(self):
+        host = WorkerHost(EchoSpec(), shard=2)
+        try:
+            assert host.request("hello") == (2, "hello")
+            assert host.request([1, 2, 3]) == (2, [1, 2, 3])
+        finally:
+            host.close()
+
+    def test_replica_error_keeps_worker_alive(self):
+        host = WorkerHost(EchoSpec(), shard=1)
+        try:
+            with pytest.raises(ShardWorkerError) as err:
+                host.request("boom")
+            assert err.value.shard == 1
+            assert "requested failure" in str(err.value)
+            # The process survived the in-replica exception.
+            assert host.alive()
+            assert host.request("after") == (1, "after")
+        finally:
+            host.close()
+
+    def test_dead_worker_raises_typed_error_with_shard(self):
+        host = WorkerHost(EchoSpec(), shard=4)
+        host._proc.terminate()
+        host._proc.join(timeout=5.0)
+        with pytest.raises(ShardWorkerDied) as err:
+            host.request("anything")
+        assert err.value.shard == 4
+        host.close()
+
+    def test_restart_gives_fresh_replica(self):
+        host = WorkerHost(EchoSpec(), shard=0)
+        try:
+            host._proc.terminate()
+            host._proc.join(timeout=5.0)
+            host.restart()
+            assert host.alive()
+            assert host.request("again") == (0, "again")
+        finally:
+            host.close()
+
+    def test_close_is_idempotent(self):
+        host = WorkerHost(EchoSpec(), shard=0)
+        host.close()
+        host.close()
+        assert not host.alive()
+
+
+class TestShardWorkerPool:
+    def test_three_incremental_runs_match_sequential_oracle(self):
+        """The acceptance contract: >= 3 consecutive incremental runs,
+        each byte-identical to the in-process oracle, plus the tail."""
+        records = keyed_records(600)
+        chunks = chunked(records, 3)
+        oracle = ShardedPipeline(window_pipeline, N_SHARDS, watermark_factory=assigner)
+        with ShardWorkerPool(
+            window_pipeline, N_SHARDS, watermark_factory=assigner
+        ) as pool:
+            for chunk in chunks:
+                assert canonical(pool.run(chunk)) == canonical(oracle.run(chunk))
+                assert pool.min_watermark() == oracle.min_watermark()
+                assert pool.records_processed() == oracle.records_processed()
+            assert canonical(pool.finish()) == canonical(oracle.finish())
+
+    def test_single_shard_pool_matches_unsharded_oracle(self):
+        records = keyed_records(200)
+        oracle = ShardedPipeline(window_pipeline, n_shards=1, watermark_factory=assigner)
+        with ShardWorkerPool(
+            window_pipeline, n_shards=1, watermark_factory=assigner
+        ) as pool:
+            assert canonical(pool.run_to_end(records)) == canonical(
+                oracle.run_to_end(records)
+            )
+
+    def test_obs_deltas_fold_to_oracle_counters(self):
+        """Per-run delta harvests, folded run by run, must accumulate to
+        exactly the counters the oracle's one-shot fold reports."""
+        records = keyed_records(600)
+        chunks = chunked(records, 3)
+        oracle_plane = ShardedObsPlane()
+        pool_plane = ShardedObsPlane()
+        oracle = ShardedPipeline(
+            window_pipeline, N_SHARDS, watermark_factory=assigner, obs=oracle_plane
+        )
+        with ShardWorkerPool(
+            window_pipeline, N_SHARDS, watermark_factory=assigner, obs=pool_plane
+        ) as pool:
+            for chunk in chunks:
+                pool.run(chunk)
+                oracle.run(chunk)
+            pool.finish()
+            oracle.finish()
+        assert pool_plane.registry.counters() == oracle_plane.registry.counters()
+        # Histogram *counts* are deterministic (one observation per hop);
+        # the observed values are wall timings, so only the counts can be
+        # compared across two executions. Exact count/sum/min/max delta
+        # semantics are covered by the hypothesis suite in
+        # test_obs_harvest.py over controlled observations.
+        oracle_hists = oracle_plane.registry._histograms
+        assert set(pool_plane.registry._histograms) == set(oracle_hists)
+        for name, h in pool_plane.registry._histograms.items():
+            assert h.count == oracle_hists[name].count, name
+
+    def test_run_sharded_pool_equals_poolless_oracle(self):
+        """run_sharded(pool=...) against run_sharded(pool=None) — the
+        dual-path rule's named equivalence test."""
+        records = keyed_records(400)
+        oracle_out = run_sharded(
+            window_pipeline, records, N_SHARDS,
+            watermark_factory=assigner, parallel=False, pool=None,
+        )
+        with ShardWorkerPool(
+            window_pipeline, N_SHARDS, watermark_factory=assigner
+        ) as pool:
+            # The pool re-arms after each one-shot, so repeated calls work.
+            for _ in range(3):
+                pooled_out = run_sharded(
+                    window_pipeline, records, N_SHARDS,
+                    watermark_factory=assigner, pool=pool,
+                )
+                assert canonical(pooled_out) == canonical(oracle_out)
+
+    def test_run_sharded_rejects_mismatched_pool(self):
+        with ShardWorkerPool(window_pipeline, 2, watermark_factory=assigner) as pool:
+            with pytest.raises(ValueError, match="shards"):
+                run_sharded(
+                    window_pipeline, keyed_records(10), 4,
+                    watermark_factory=assigner, pool=pool,
+                )
+
+    def test_run_sharded_rejects_obs_alongside_pool(self):
+        with ShardWorkerPool(window_pipeline, 2, watermark_factory=assigner) as pool:
+            with pytest.raises(ValueError, match="obs"):
+                run_sharded(
+                    window_pipeline, keyed_records(10), 2,
+                    watermark_factory=assigner, pool=pool, obs=ShardedObsPlane(),
+                )
+
+    def test_finish_is_single_use_until_reset(self):
+        with ShardWorkerPool(window_pipeline, 2, watermark_factory=assigner) as pool:
+            pool.run_to_end(keyed_records(50))
+            with pytest.raises(RuntimeError, match="finished"):
+                pool.run(keyed_records(10))
+            with pytest.raises(RuntimeError, match="finished"):
+                pool.finish()
+            pool.reset()
+            out = pool.run_to_end(keyed_records(50))
+            oracle = ShardedPipeline(window_pipeline, 2, watermark_factory=assigner)
+            assert canonical(out) == canonical(oracle.run_to_end(keyed_records(50)))
+
+    def test_dead_worker_detected_at_next_request(self):
+        with ShardWorkerPool(window_pipeline, 2, watermark_factory=assigner) as pool:
+            pool.run(keyed_records(20))
+            pool.hosts[1]._proc.terminate()
+            pool.hosts[1]._proc.join(timeout=5.0)
+            with pytest.raises(ShardWorkerDied) as err:
+                pool.run(keyed_records(20))
+            assert err.value.shard == 1
+
+    def test_restart_shard_respawns_fresh_replica(self):
+        with ShardWorkerPool(window_pipeline, 2, watermark_factory=assigner) as pool:
+            pool.hosts[0]._proc.terminate()
+            pool.hosts[0]._proc.join(timeout=5.0)
+            pool.restart_shard(0)
+            assert pool.hosts[0].alive()
+            # Restarted replicas serve again; a full fresh stream after
+            # reset matches the oracle (mid-stream state is rebuilt, so
+            # only a new stream re-enters the determinism contract).
+            pool.reset()
+            oracle = ShardedPipeline(window_pipeline, 2, watermark_factory=assigner)
+            assert canonical(pool.run_to_end(keyed_records(80))) == canonical(
+                oracle.run_to_end(keyed_records(80))
+            )
+
+    def test_closed_pool_refuses_requests(self):
+        pool = ShardWorkerPool(window_pipeline, 2, watermark_factory=assigner)
+        pool.close()
+        assert all(not host.alive() for host in pool.hosts)
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.run(keyed_records(10))
+
+    def test_needs_at_least_one_shard(self):
+        with pytest.raises(ValueError):
+            ShardWorkerPool(window_pipeline, 0)
+
+
+class TestSetupExcludedFromWalls:
+    """Satellite regression: replica build cost must be reported as
+    setup_s, never folded into the run walls the critical-path speedup
+    is computed from — on the pool, sequential, and fork paths alike."""
+
+    def test_pool_reports_setup_apart_from_run_walls(self):
+        with ShardWorkerPool(
+            slow_setup_pipeline, 2, watermark_factory=assigner
+        ) as pool:
+            pool.run_to_end(keyed_records(40))
+            assert all(s >= 0.05 for s in pool.setup_seconds())
+            assert all(w < 0.05 for w in pool.wall_seconds())
+
+    def test_sequential_pipeline_reports_setup_apart_from_run_walls(self):
+        sharded = ShardedPipeline(slow_setup_pipeline, 2, watermark_factory=assigner)
+        sharded.run_to_end(keyed_records(40))
+        assert all(s >= 0.05 for s in sharded.setup_seconds())
+        assert all(w < 0.05 for w in sharded.wall_seconds())
+
+    def test_fork_path_reports_setup_apart_from_run_walls(self):
+        """The fixed defect: parallel workers used to fold factory/build
+        cost into nothing at all — now it ships as the harvest's
+        setup_seconds and surfaces as shard.<i>.setup_s, leaving the
+        walls (and critical_path_speedup) pure steady-state numbers."""
+        plane = ShardedObsPlane(instrument=False)
+        run_sharded(
+            slow_setup_pipeline, keyed_records(40), 2,
+            watermark_factory=assigner, parallel=True, obs=plane,
+        )
+        setups = plane.shard_setups()
+        walls = plane.shard_walls()
+        assert len(setups) == 2
+        assert all(s >= 0.05 for s in setups)
+        assert all(w < 0.05 for w in walls)
+        # A tiny workload behind a slow factory: were setup folded into
+        # the walls, both shards would report >= 50ms and the gauges
+        # would be indistinguishable from real compute.
+        assert plane.registry.gauge("shard.0.setup_s").value() >= 0.05
