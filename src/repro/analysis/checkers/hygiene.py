@@ -5,10 +5,13 @@ exposed to:
 
 * **mutable default arguments** — a shared list/dict/set default is
   cross-call global state, the antithesis of replayable operators;
-* **bare / swallowed excepts** — ``except:`` catches ``KeyboardInterrupt``
-  and hides broker/operator failures; an ``except X: pass`` silently
-  drops data (when intentional, say why with a
-  ``# reprolint: disable=hygiene — reason`` pragma);
+* **bare / broad / swallowed excepts** — ``except:`` catches
+  ``KeyboardInterrupt`` and hides broker/operator failures; ``except
+  Exception`` is almost as indiscriminate and only belongs at a
+  process/IPC boundary where *any* failure must be serialised rather
+  than propagated; an ``except X: pass`` silently drops data. When
+  intentional, say why with a ``# reprolint: disable=hygiene — reason``
+  pragma;
 * **Operator contract overrides** — subclasses of
   :class:`repro.streams.operators.Operator` must override ``on_record`` /
   ``on_batch`` / ``on_watermark``, never ``process`` / ``process_batch``
@@ -40,8 +43,8 @@ _MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "OrderedDict", "Counter"
 class HygieneChecker(Checker):
     name = "hygiene"
     description = (
-        "mutable default arguments, bare/swallowed excepts, and Operator "
-        "subclasses overriding the instrumented process entry points"
+        "mutable default arguments, bare/broad/swallowed excepts, and "
+        "Operator subclasses overriding the instrumented process entry points"
     )
 
     def run(self, project: Project, config: AnalysisConfig) -> list[Finding]:
@@ -106,6 +109,25 @@ class HygieneChecker(Checker):
                 symbol=source.module,
             )
             return
+        broad = (
+            isinstance(handler.type, ast.Name)
+            and handler.type.id in ("Exception", "BaseException")
+        ) or (
+            isinstance(handler.type, ast.Attribute)
+            and handler.type.attr in ("Exception", "BaseException")
+        )
+        if broad:
+            yield self.finding(
+                "error",
+                source.relpath,
+                handler.lineno,
+                handler.col_offset,
+                f"broad `except {ast.unparse(handler.type)}` — narrow it to "
+                f"the concrete exception set, or justify the catch-all (e.g. "
+                f"a process/IPC boundary that must serialise any failure) "
+                f"with a `# reprolint: disable=hygiene` pragma",
+                symbol=source.module,
+            )
         body = handler.body
         only_pass = all(
             isinstance(stmt, ast.Pass)

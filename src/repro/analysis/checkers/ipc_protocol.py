@@ -1,0 +1,431 @@
+"""IPC protocol conformance: the worker-pool state machine, statically.
+
+The persistent shard worker pool (``repro.streams.workers``) speaks a
+hand-rolled lockstep protocol over duplex pipes: tagged tuple frames
+(``("req", payload)`` → ``("ok", response)`` …). Nothing type-checks
+that protocol — a misspelled tag, a reply the parent never handles, or
+a request the worker silently drops is a *runtime hang or crash on the
+serving path*, found only when a shard wedges in production. This
+checker makes the protocol a compile-time contract:
+
+* the full request/reply state machine is declared once, in
+  ``tools/ipc_protocol.toml`` (requests → allowed replies, the
+  spawn-time replies, and which reply tags the parent must match by
+  literal vs handle in a default branch);
+* every literal tag shipped through a ``Connection.send`` and every
+  literal tag compared against a ``Connection.recv`` result is
+  extracted from both sides of the module — the worker side being the
+  functions named by the spec's ``worker_functions``, the parent side
+  everything else;
+* drift in any direction is an error: a spec request with no
+  worker-side handler, a reply with no parent-side case, tags the code
+  uses but the spec doesn't know (and vice versa — dead protocol
+  states), and frames whose tag is not a literal at all;
+* the protocol table in the module docstring is cross-checked against
+  the spec, so the human-facing documentation cannot silently rot.
+
+Extraction is taint-based, not name-based: a comparison counts as a
+protocol match only when one operand flows from a ``.recv()`` call on a
+connection-like receiver (or from a wrapper function that returns one),
+which keeps application-level tags — the ``("run", …)``/``("finish",)``
+pipeline requests *inside* a ``("req", payload)`` frame — out of the
+protocol surface.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from ..config import AnalysisConfig, IpcProtocolConfig
+from ..model import Finding, Project, SourceFile
+from ..registry import Checker, register
+from ._util import dotted_name
+
+#: A receiver whose final dotted component contains this is treated as a
+#: pipe connection (``conn``, ``self._conn``, ``parent_conn`` …).
+_CONN_MARKER = "conn"
+
+_DOC_TAG_RE = re.compile(r"\(\"([a-z_]+)\"")
+
+
+def _is_conn_receiver(expr: ast.expr) -> bool:
+    name = dotted_name(expr)
+    return bool(name) and _CONN_MARKER in name.split(".")[-1]
+
+
+def _call_name(call: ast.Call) -> str:
+    """Simple name of the called function (``self._recv`` -> ``_recv``)."""
+    fn = call.func
+    if isinstance(fn, ast.Name):
+        return fn.id
+    if isinstance(fn, ast.Attribute):
+        return fn.attr
+    return ""
+
+
+def _literal_strings(expr: ast.expr) -> list[str] | None:
+    """The string constants of ``expr`` (a constant or tuple/list of them)."""
+    if isinstance(expr, ast.Constant):
+        return [expr.value] if isinstance(expr.value, str) else None
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        out = []
+        for el in expr.elts:
+            if isinstance(el, ast.Constant) and isinstance(el.value, str):
+                out.append(el.value)
+            else:
+                return None
+        return out
+    return None
+
+
+class _ScopeExtraction:
+    """Tags one side of the protocol sends and matches, with locations."""
+
+    def __init__(self) -> None:
+        self.sent: dict[str, tuple[int, int]] = {}
+        self.matched: dict[str, tuple[int, int]] = {}
+        self.opaque_sends: list[tuple[int, int]] = []
+
+    def record_send(self, tag: str, node: ast.AST) -> None:
+        self.sent.setdefault(tag, (node.lineno, node.col_offset))
+
+    def record_match(self, tag: str, node: ast.AST) -> None:
+        self.matched.setdefault(tag, (node.lineno, node.col_offset))
+
+
+def _recv_wrappers(tree: ast.AST) -> set[str]:
+    """Functions that *return* the result of a connection ``recv`` —
+    comparisons against their results are protocol matches too."""
+    wrappers: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for ret in ast.walk(node):
+            if isinstance(ret, ast.Return) and ret.value is not None:
+                for call in ast.walk(ret.value):
+                    if (
+                        isinstance(call, ast.Call)
+                        and isinstance(call.func, ast.Attribute)
+                        and call.func.attr == "recv"
+                        and _is_conn_receiver(call.func.value)
+                    ):
+                        wrappers.add(node.name)
+    return wrappers
+
+
+def _extract_function(
+    fn: ast.AST, wrappers: set[str], out: _ScopeExtraction
+) -> None:
+    """Extract protocol sends and recv-tainted matches from one function."""
+
+    def is_recv_call(expr: ast.expr) -> bool:
+        for call in ast.walk(expr):
+            if isinstance(call, ast.Call):
+                name = _call_name(call)
+                if name == "recv" and isinstance(call.func, ast.Attribute):
+                    if _is_conn_receiver(call.func.value):
+                        return True
+                elif name in wrappers:
+                    return True
+        return False
+
+    # Taint pass to fixpoint: names assigned from recv results (directly,
+    # through tuple unpacking, or through a subscript of a tainted name).
+    tainted: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            value_tainted = is_recv_call(node.value) or any(
+                isinstance(sub, ast.Name) and sub.id in tainted
+                for sub in ast.walk(node.value)
+            )
+            if not value_tainted:
+                continue
+            target = node.targets[0]
+            names = (
+                [el for el in target.elts if isinstance(el, ast.Name)]
+                if isinstance(target, (ast.Tuple, ast.List))
+                else [target] if isinstance(target, ast.Name) else []
+            )
+            for name in names:
+                if name.id not in tainted:
+                    tainted.add(name.id)
+                    changed = True
+
+    def is_tainted_ref(expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id in tainted
+        if isinstance(expr, ast.Subscript):
+            return isinstance(expr.value, ast.Name) and expr.value.id in tainted
+        return is_recv_call(expr) if isinstance(expr, ast.Call) else False
+
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            if (
+                name == "send"
+                and isinstance(node.func, ast.Attribute)
+                and _is_conn_receiver(node.func.value)
+                and node.args
+            ):
+                frame = node.args[0]
+                tag = None
+                if isinstance(frame, ast.Tuple) and frame.elts:
+                    first = _literal_strings(frame.elts[0])
+                    if first is not None and len(first) == 1:
+                        tag = first[0]
+                if tag is not None:
+                    out.record_send(tag, node)
+                else:
+                    out.opaque_sends.append((node.lineno, node.col_offset))
+        elif isinstance(node, ast.Compare):
+            operands = [node.left, *node.comparators]
+            if not any(is_tainted_ref(op) for op in operands):
+                continue
+            for op in operands:
+                strings = _literal_strings(op)
+                for tag in strings or ():
+                    out.record_match(tag, node)
+
+
+@register
+class IpcProtocolChecker(Checker):
+    name = "ipc-protocol"
+    description = (
+        "worker-pool IPC frames must follow the request/reply state machine "
+        "declared in tools/ipc_protocol.toml (and its docstring table)"
+    )
+
+    def run(self, project: Project, config: AnalysisConfig) -> list[Finding]:
+        spec = config.ipc_protocol
+        if spec is None:
+            return []
+        source = next(
+            (f for f in project.realm("src") if f.module == spec.module), None
+        )
+        if source is None or source.tree is None:
+            return [
+                self.finding(
+                    "error",
+                    "tools/ipc_protocol.toml",
+                    1,
+                    0,
+                    f"ipc protocol spec names module {spec.module!r} but the "
+                    f"project has no such (parseable) source file",
+                )
+            ]
+        findings = list(self._check_module(source, spec))
+        findings.extend(self._check_docstring(source, spec))
+        return findings
+
+    # -- state-machine conformance -------------------------------------------------
+
+    def _check_module(self, source: SourceFile, spec: IpcProtocolConfig):
+        wrappers = _recv_wrappers(source.tree)
+        worker = _ScopeExtraction()
+        parent = _ScopeExtraction()
+        worker_fns = set(spec.worker_functions)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            # Methods are visited through their own FunctionDef; only
+            # extract per innermost function to keep locations precise.
+            scope = worker if node.name in worker_fns else parent
+            if self._is_nested_function(source.tree, node):
+                continue
+            _extract_function(node, wrappers, scope)
+
+        requests = set(spec.requests)
+        replies = spec.reply_tags()
+        anchor = self._module_anchor(source)
+
+        for line, col in worker.opaque_sends + parent.opaque_sends:
+            yield self.finding(
+                "error",
+                source.relpath,
+                line,
+                col,
+                "protocol frame sent without a literal tag — every frame "
+                "through a worker connection must be a tuple whose first "
+                "element is a literal tag the spec knows",
+                symbol=source.module,
+            )
+
+        # Requests: parent sends them, worker handles them.
+        for tag in sorted(requests):
+            if tag not in worker.matched:
+                yield self.finding(
+                    "error",
+                    source.relpath,
+                    *anchor,
+                    f"request tag {tag!r} has no worker-side handler — no "
+                    f"function in {sorted(spec.worker_functions)} compares the "
+                    f"received kind against it, so the worker would fall "
+                    f"through to its unknown-message branch",
+                    symbol=source.module,
+                )
+            if tag not in parent.sent:
+                yield self.finding(
+                    "error",
+                    source.relpath,
+                    *anchor,
+                    f"request tag {tag!r} is declared in tools/ipc_protocol.toml "
+                    f"but the parent never sends it — a dead protocol state",
+                    symbol=source.module,
+                )
+        for tag, (line, col) in sorted(parent.sent.items()):
+            if tag not in requests:
+                yield self.finding(
+                    "error",
+                    source.relpath,
+                    line,
+                    col,
+                    f"parent sends undeclared request tag {tag!r} — declare it "
+                    f"in tools/ipc_protocol.toml with its allowed replies",
+                    symbol=source.module,
+                )
+
+        # Replies: worker produces them, parent has a case for them.
+        for tag in sorted(replies):
+            if tag not in worker.sent:
+                yield self.finding(
+                    "error",
+                    source.relpath,
+                    *anchor,
+                    f"reply tag {tag!r} is declared in tools/ipc_protocol.toml "
+                    f"but the worker never sends it — a dead protocol state",
+                    symbol=source.module,
+                )
+        for tag, (line, col) in sorted(worker.sent.items()):
+            if tag not in replies:
+                yield self.finding(
+                    "error",
+                    source.relpath,
+                    line,
+                    col,
+                    f"worker sends undeclared reply tag {tag!r} — the parent "
+                    f"has no case for it; declare it in tools/ipc_protocol.toml",
+                    symbol=source.module,
+                )
+        for tag in sorted(spec.parent_matched):
+            if tag not in parent.matched:
+                yield self.finding(
+                    "error",
+                    source.relpath,
+                    *anchor,
+                    f"reply tag {tag!r} has no parent-side case — the spec "
+                    f"requires the parent to match it by literal "
+                    f"(parent_cases.matched), but no comparison against a "
+                    f"received kind mentions it",
+                    symbol=source.module,
+                )
+        for tag, (line, col) in sorted(parent.matched.items()):
+            if tag not in replies and tag not in requests:
+                yield self.finding(
+                    "error",
+                    source.relpath,
+                    line,
+                    col,
+                    f"parent matches reply tag {tag!r} that no spec entry "
+                    f"declares and no worker sends — dead branch or drift",
+                    symbol=source.module,
+                )
+
+        # Worker-side matches against tags that are not requests would be
+        # handler branches that can never fire.
+        for tag, (line, col) in sorted(worker.matched.items()):
+            if tag not in requests:
+                yield self.finding(
+                    "error",
+                    source.relpath,
+                    line,
+                    col,
+                    f"worker handles tag {tag!r} that the spec declares no "
+                    f"request for — a handler branch that can never fire",
+                    symbol=source.module,
+                )
+
+    # -- docstring table cross-check -----------------------------------------------
+
+    def _check_docstring(self, source: SourceFile, spec: IpcProtocolConfig):
+        doc = ast.get_docstring(source.tree) or ""
+        anchor = self._module_anchor(source)
+        doc_tags = set(_DOC_TAG_RE.findall(doc))
+        spec_tags = set(spec.requests) | spec.reply_tags()
+        for tag in sorted(spec_tags - doc_tags):
+            yield self.finding(
+                "error",
+                source.relpath,
+                *anchor,
+                f"protocol tag {tag!r} is not documented in the {source.module} "
+                f"module docstring — the protocol table there is the "
+                f"human-facing contract and must stay in sync with "
+                f"tools/ipc_protocol.toml",
+                symbol=source.module,
+            )
+        for tag in sorted(doc_tags - spec_tags):
+            yield self.finding(
+                "error",
+                source.relpath,
+                *anchor,
+                f"the {source.module} docstring documents tag {tag!r} that "
+                f"tools/ipc_protocol.toml does not declare — stale docs or a "
+                f"missing spec entry",
+                symbol=source.module,
+            )
+        # Row-level check: a docstring line whose first tag is a request
+        # documents that request's row — its remaining tags must be
+        # declared replies of that request.
+        documented_requests: set[str] = set()
+        for line in doc.splitlines():
+            tags = _DOC_TAG_RE.findall(line)
+            if not tags or tags[0] not in spec.requests:
+                continue
+            request, rest = tags[0], set(tags[1:])
+            documented_requests.add(request)
+            undeclared = rest - set(spec.requests[request])
+            if undeclared:
+                yield self.finding(
+                    "error",
+                    source.relpath,
+                    *anchor,
+                    f"the docstring table documents {sorted(undeclared)} as "
+                    f"replies to {request!r}, but tools/ipc_protocol.toml "
+                    f"declares {spec.requests[request]}",
+                    symbol=source.module,
+                )
+        for tag in sorted(set(spec.requests) - documented_requests):
+            yield self.finding(
+                "error",
+                source.relpath,
+                *anchor,
+                f"request tag {tag!r} has no row in the docstring protocol "
+                f"table of {source.module}",
+                symbol=source.module,
+            )
+
+    # -- helpers -------------------------------------------------------------------
+
+    @staticmethod
+    def _module_anchor(source: SourceFile) -> tuple[int, int]:
+        """Line to anchor module-level findings at: the docstring if any."""
+        body = getattr(source.tree, "body", [])
+        if body and isinstance(body[0], ast.Expr) and isinstance(body[0].value, ast.Constant):
+            return body[0].lineno, body[0].col_offset
+        return 1, 0
+
+    @staticmethod
+    def _is_nested_function(tree: ast.AST, fn: ast.AST) -> bool:
+        """Whether ``fn`` sits inside another function (extracted with it)."""
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node is not fn
+                and any(child is fn for child in ast.walk(node))
+            ):
+                return True
+        return False

@@ -42,6 +42,10 @@ class SystemConfig:
     #: startup across runs. False keeps the in-process replicas — the
     #: determinism/equivalence oracle for the pool path.
     worker_pool: bool = False
+    #: Reply deadline (seconds) for worker-pool IPC: a hung-but-alive
+    #: worker surfaces as ShardWorkerDied after this long instead of
+    #: blocking the parent forever. None = unbounded waits.
+    worker_request_timeout_s: float | None = 300.0
     #: Trace every Nth clean fix end to end (0 disables lineage tracing).
     trace_sample_every: int = 256
     #: Broker publishes coalesce into batches of this size (the columnar

@@ -197,7 +197,12 @@ class ShardedRealtimeLayer:
         self._pool_walls = [0.0] * self.n_shards
         if self.use_worker_pool:
             spec = _RealtimeShardSpec(cfg)
-            self._hosts = [WorkerHost(spec, i) for i in range(self.n_shards)]
+            self._hosts = [
+                WorkerHost(
+                    spec, i, request_timeout_s=cfg.worker_request_timeout_s
+                )
+                for i in range(self.n_shards)
+            ]
             self._setup_s = [host.setup_s for host in self._hosts]
         else:
             for _ in range(self.n_shards):

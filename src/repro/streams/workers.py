@@ -19,19 +19,27 @@ Protocol (strict lockstep — at most one outstanding request per worker,
 so the pipe can never deadlock; the parent scatters to all shards before
 gathering, so shards compute concurrently):
 
-==================  =============================================
+==================  ==================================================
 parent → worker     worker → parent
-==================  =============================================
-(spawn)             ``("ready", setup_s)`` — replica built once
+==================  ==================================================
+(spawn)             ``("ready", setup_s)`` or ``("fatal", repr(exc))``
 ``("req", p)``      ``("ok", response)`` or ``("err", repr(exc))``
-``("reset",)``      ``("ready", setup_s)`` — replica rebuilt
+``("reset",)``      ``("ready", setup_s)`` or ``("err", repr(exc))``
 ``("close",)``      ``("closed",)``, then the process exits
-==================  =============================================
+==================  ==================================================
+
+This table is cross-checked against ``tools/ipc_protocol.toml`` by the
+``ipc-protocol`` checker: the spec is the machine-readable source of
+truth, this table the human-readable one, and drift in either is a
+lint error.
 
 Liveness: a dead worker is detected at the next interaction with it and
-surfaced as :class:`ShardWorkerDied` carrying the shard id; an exception
-*inside* the replica comes back as :class:`ShardWorkerError` and leaves
-the process alive. :meth:`ShardWorkerPool.restart_shard` respawns one
+surfaced as :class:`ShardWorkerDied` carrying the shard id; a *hung*
+worker (alive but not replying — ``Connection.recv`` only raises for
+dead peers) is bounded by ``request_timeout_s``: every wait for a reply
+polls a deadline, and on expiry the host kills the worker and raises
+:class:`ShardWorkerDied` too. An exception *inside* the replica comes
+back as :class:`ShardWorkerError` and leaves the process alive. :meth:`ShardWorkerPool.restart_shard` respawns one
 worker with a fresh replica; :meth:`ShardWorkerPool.close` (or the
 context manager) shuts everything down cleanly.
 
@@ -60,6 +68,15 @@ from .sharding import (
     critical_path_speedup,
     merge_shard_outputs,
 )
+
+
+#: Default reply deadline for :class:`ShardWorkerPool` — generous (a batched
+#: frame plus a full replica rebuild fit comfortably) but finite, so a hung
+#: worker surfaces as :class:`ShardWorkerDied` instead of wedging the parent.
+DEFAULT_REQUEST_TIMEOUT_S = 300.0
+
+#: Bounded wait for the ``("closed",)`` shutdown ack before reaping anyway.
+_CLOSE_ACK_TIMEOUT_S = 5.0
 
 
 class ShardWorkerDied(RuntimeError):
@@ -108,6 +125,8 @@ def _worker_main(conn: multiprocessing.connection.Connection, spec: Any, shard: 
         t0 = perf_counter()
         state = spec.setup(shard)
         conn.send(("ready", perf_counter() - t0))
+    # reprolint: disable=hygiene — IPC boundary: any setup failure must travel
+    # to the parent as a ("fatal", repr) frame, never crash the worker silently.
     except Exception as exc:
         # Setup is fatal: report and exit, the parent raises ShardWorkerError.
         conn.send(("fatal", repr(exc)))
@@ -115,6 +134,9 @@ def _worker_main(conn: multiprocessing.connection.Connection, spec: Any, shard: 
         return
     while True:
         try:
+            # reprolint: disable=resource-lifecycle — the worker idles here by
+            # design between lockstep requests; liveness is owned by the parent
+            # (its request deadline), and a dead parent surfaces as EOF below.
             msg = conn.recv()
         except (EOFError, OSError):
             break  # parent is gone; nothing left to serve
@@ -127,12 +149,17 @@ def _worker_main(conn: multiprocessing.connection.Connection, spec: Any, shard: 
                 t0 = perf_counter()
                 state = spec.setup(shard)
                 conn.send(("ready", perf_counter() - t0))
+            # reprolint: disable=hygiene — IPC boundary: rebuild failures must
+            # travel as ("err", repr) frames and leave the worker serving.
             except Exception as exc:
                 conn.send(("err", repr(exc)))
             continue
         if kind == "req":
             try:
                 conn.send(("ok", spec.handle(shard, state, msg[1])))
+            # reprolint: disable=hygiene — IPC boundary: replica exceptions must
+            # travel as ("err", repr) frames (the exception object itself may
+            # hold unpicklable operator state) and leave the worker serving.
             except Exception as exc:
                 conn.send(("err", repr(exc)))
             continue
@@ -152,11 +179,28 @@ class WorkerHost:
     ``setup_s`` accumulates replica build seconds across the initial
     spawn and every :meth:`reset`/:meth:`restart` — reported apart from
     run walls so speedups compare steady state.
+
+    ``request_timeout_s`` bounds every wait for a reply frame: a worker
+    that is alive but hung (deadlocked replica, wedged syscall) would
+    otherwise block the parent forever, because ``Connection.recv``
+    only raises for *dead* peers. On deadline the host terminates the
+    worker (the lockstep is desynchronised — a late reply could pair
+    with the wrong request) and raises :class:`ShardWorkerDied` naming
+    the shard, so callers can :meth:`restart`. ``None`` disables the
+    deadline (the pre-timeout behavior).
     """
 
-    def __init__(self, spec: Any, shard: int, context: Any = None, start: bool = True):
+    def __init__(
+        self,
+        spec: Any,
+        shard: int,
+        context: Any = None,
+        start: bool = True,
+        request_timeout_s: float | None = None,
+    ):
         self.spec = spec
         self.shard = shard
+        self.request_timeout_s = request_timeout_s
         self._ctx = context if context is not None else multiprocessing.get_context()
         self._proc: Any = None
         self._conn: multiprocessing.connection.Connection | None = None
@@ -179,9 +223,17 @@ class WorkerHost:
         child_conn.close()
         self._proc, self._conn = proc, parent_conn
         kind, payload = self._recv()
-        if kind != "ready":
+        if kind == "ready":
+            self.setup_s += payload
+        elif kind == "fatal":
+            # The worker reported a setup failure and is exiting; reap it.
+            self._terminate()
             raise ShardWorkerError(self.shard, str(payload))
-        self.setup_s += payload
+        else:
+            self._terminate()
+            raise ShardWorkerDied(
+                self.shard, f"protocol violation: unexpected spawn reply {kind!r}"
+            )
 
     def alive(self) -> bool:
         """Whether the worker process is currently running."""
@@ -201,7 +253,12 @@ class WorkerHost:
         kind, payload = self._recv()
         if kind == "ok":
             return payload
-        raise ShardWorkerError(self.shard, str(payload))
+        if kind == "err":
+            raise ShardWorkerError(self.shard, str(payload))
+        self._terminate()
+        raise ShardWorkerDied(
+            self.shard, f"protocol violation: unexpected request reply {kind!r}"
+        )
 
     def request(self, payload: Any) -> Any:
         """Lockstep convenience: :meth:`send` then :meth:`receive`."""
@@ -217,9 +274,15 @@ class WorkerHost:
         except (BrokenPipeError, OSError) as exc:
             raise ShardWorkerDied(self.shard, repr(exc)) from exc
         kind, payload = self._recv()
-        if kind != "ready":
+        if kind == "ready":
+            self.setup_s += payload
+        elif kind == "err":
             raise ShardWorkerError(self.shard, str(payload))
-        self.setup_s += payload
+        else:
+            self._terminate()
+            raise ShardWorkerDied(
+                self.shard, f"protocol violation: unexpected reset reply {kind!r}"
+            )
 
     def restart(self) -> None:
         """Kill the process (alive or not) and spawn a fresh replica."""
@@ -233,7 +296,11 @@ class WorkerHost:
         if self._proc.is_alive() and self._conn is not None:
             try:
                 self._conn.send(("close",))
-                self._conn.recv()  # the ("closed",) ack, or EOF if it raced exit
+                # Bounded wait for the ("closed",) ack (or EOF if it raced
+                # exit) — shutdown must not hang on a wedged worker; the
+                # _terminate() below reaps it regardless of what arrived.
+                if self._conn.poll(_CLOSE_ACK_TIMEOUT_S):
+                    self._conn.recv()
             except (BrokenPipeError, EOFError, OSError):
                 pass  # reprolint: disable=hygiene — best-effort shutdown: the worker may already be gone
         self._terminate()
@@ -255,6 +322,18 @@ class WorkerHost:
     def _recv(self) -> tuple[str, Any]:
         assert self._conn is not None
         try:
+            if self.request_timeout_s is not None and not self._conn.poll(
+                self.request_timeout_s
+            ):
+                # The worker is alive but did not reply in time. The
+                # lockstep is now desynchronised — a late reply could pair
+                # with the wrong request — so the only safe recovery is to
+                # kill the worker and report it dead.
+                self._terminate()
+                raise ShardWorkerDied(
+                    self.shard,
+                    f"no reply within {self.request_timeout_s}s (worker hung)",
+                )
             return self._conn.recv()
         except (EOFError, OSError) as exc:
             raise ShardWorkerDied(self.shard, repr(exc)) from exc
@@ -369,6 +448,12 @@ class ShardWorkerPool:
 
     Use as a context manager (or call :meth:`close`) so worker processes
     never outlive the stream.
+
+    ``request_timeout_s`` (default :data:`DEFAULT_REQUEST_TIMEOUT_S`)
+    bounds every wait for a shard's reply: a hung-but-alive worker
+    surfaces as :class:`ShardWorkerDied` instead of wedging the parent,
+    and :meth:`restart_shard` recovers it. ``None`` restores the old
+    unbounded behavior.
     """
 
     def __init__(
@@ -379,6 +464,7 @@ class ShardWorkerPool:
         obs: Any = None,
         batch_size: int | None = None,
         context: Any = None,
+        request_timeout_s: float | None = DEFAULT_REQUEST_TIMEOUT_S,
     ):
         if n_shards < 1:
             raise ValueError("a worker pool needs at least one shard")
@@ -392,7 +478,12 @@ class ShardWorkerPool:
             obs_worker=obs.worker if obs is not None else None,
             batch_size=batch_size,
         )
-        self.hosts = [WorkerHost(spec, shard, context=context) for shard in range(n_shards)]
+        self.hosts = [
+            WorkerHost(
+                spec, shard, context=context, request_timeout_s=request_timeout_s
+            )
+            for shard in range(n_shards)
+        ]
         self._accounts = [_ShardAccount() for _ in range(n_shards)]
         self._finished = False
         self._closed = False

@@ -710,6 +710,33 @@ class TestHygieneChecker:
         assert any("bare `except:`" in m for m in messages)
         assert any("swallowed exception" in m for m in messages)
 
+    def test_broad_except_fires_and_pragma_justifies(self, tmp_path):
+        root = write_project(
+            tmp_path,
+            {
+                "src/repro/streams/broad.py": (
+                    "def fragile():\n"
+                    "    try:\n"
+                    "        risky()\n"
+                    "    except Exception:\n"
+                    "        raise\n"
+                    "def boundary(conn):\n"
+                    "    try:\n"
+                    "        risky()\n"
+                    "    # reprolint: disable=hygiene — IPC boundary: any failure\n"
+                    "    # must serialise into an error frame, not kill the worker.\n"
+                    "    except Exception as exc:\n"
+                    "        conn.send(repr(exc))\n"
+                    "        raise\n"
+                ),
+            },
+        )
+        result = run_analysis(root, checks=["hygiene"])
+        new = new_findings_of(result, "hygiene")
+        assert len(new) == 1
+        assert "broad `except" in new[0].message
+        assert new[0].line == 4  # the un-pragma'd handler, not the boundary one
+
     def test_operator_process_override_fires(self, tmp_path):
         root = write_project(
             tmp_path,
@@ -748,6 +775,463 @@ class TestHygieneChecker:
         result = run_analysis(root, checks=["hygiene"])
         assert new_findings_of(result, "hygiene") == []
         assert any(r.suppressed for r in result.rows)
+
+
+IPC_PROTOCOL_TOML = """
+module = "repro.streams.link"
+worker_functions = ["serve"]
+
+[spawn]
+replies = ["ready"]
+
+[requests.req]
+replies = ["ok", "err"]
+
+[parent_cases]
+matched = ["ready", "ok", "err"]
+"""
+
+IPC_CLEAN_MODULE = '''\
+"""A toy lockstep protocol.
+
+========== ======================
+("req")    ("ok") or ("err")
+========== ======================
+
+Spawn-time the worker sends ("ready").
+"""
+
+
+def serve(conn):
+    conn.send(("ready",))
+    while True:
+        msg = conn.recv()
+        kind = msg[0]
+        if kind == "req":
+            conn.send(("ok", 1))
+        else:
+            conn.send(("err", "boom"))
+
+
+class Host:
+    def __init__(self, conn):
+        self._conn = conn
+
+    def call(self):
+        self._conn.send(("req", 1))
+        if not self._conn.poll(5.0):
+            raise TimeoutError
+        tag, payload = self._conn.recv()
+        if tag == "ready":
+            return None
+        if tag == "ok":
+            return payload
+        if tag == "err":
+            raise RuntimeError(payload)
+        raise RuntimeError(tag)
+'''
+
+
+class TestIpcProtocolChecker:
+    def _project(self, tmp_path, module_text, protocol_toml=IPC_PROTOCOL_TOML):
+        return write_project(
+            tmp_path,
+            {
+                "tools/ipc_protocol.toml": protocol_toml,
+                "src/repro/streams/link.py": module_text,
+            },
+        )
+
+    def test_conforming_module_is_clean(self, tmp_path):
+        root = self._project(tmp_path, IPC_CLEAN_MODULE)
+        result = run_analysis(root, checks=["ipc-protocol"])
+        assert new_findings_of(result, "ipc-protocol") == []
+
+    def test_undeclared_reply_tag_fires_both_directions(self, tmp_path):
+        # Worker misspells "ok" as "done": the sent tag is undeclared AND
+        # the declared "ok" becomes a reply the worker never produces.
+        root = self._project(
+            tmp_path, IPC_CLEAN_MODULE.replace('conn.send(("ok", 1))', 'conn.send(("done", 1))')
+        )
+        messages = [
+            f.message
+            for f in new_findings_of(run_analysis(root, checks=["ipc-protocol"]), "ipc-protocol")
+        ]
+        assert any("undeclared reply tag 'done'" in m for m in messages)
+        assert any("'ok'" in m and "worker never sends" in m for m in messages)
+
+    def test_request_without_worker_handler_fires(self, tmp_path):
+        root = self._project(
+            tmp_path, IPC_CLEAN_MODULE.replace('if kind == "req":', "if False:")
+        )
+        messages = [
+            f.message
+            for f in new_findings_of(run_analysis(root, checks=["ipc-protocol"]), "ipc-protocol")
+        ]
+        assert any("'req' has no worker-side handler" in m for m in messages)
+
+    def test_docstring_drift_fires(self, tmp_path):
+        root = self._project(
+            tmp_path, IPC_CLEAN_MODULE.replace('("ok") or ("err")', '("ok")')
+        )
+        messages = [
+            f.message
+            for f in new_findings_of(run_analysis(root, checks=["ipc-protocol"]), "ipc-protocol")
+        ]
+        assert any("'err' is not documented" in m for m in messages)
+
+    def test_opaque_send_fires_and_pragma_suppresses(self, tmp_path):
+        bad = IPC_CLEAN_MODULE.replace(
+            'conn.send(("ready",))',
+            'conn.send(("ready",))\n    conn.send(make_frame())',
+        )
+        root = self._project(tmp_path, bad)
+        result = run_analysis(root, checks=["ipc-protocol"])
+        assert any(
+            "without a literal tag" in f.message
+            for f in new_findings_of(result, "ipc-protocol")
+        )
+        ok = bad.replace(
+            "conn.send(make_frame())",
+            "conn.send(make_frame())  # reprolint: disable=ipc-protocol — framed upstream",
+        )
+        result = run_analysis(self._project(tmp_path, ok), checks=["ipc-protocol"])
+        assert new_findings_of(result, "ipc-protocol") == []
+
+    def test_missing_module_is_an_error(self, tmp_path):
+        root = write_project(
+            tmp_path, {"tools/ipc_protocol.toml": IPC_PROTOCOL_TOML}
+        )
+        findings = new_findings_of(
+            run_analysis(root, checks=["ipc-protocol"]), "ipc-protocol"
+        )
+        assert len(findings) == 1
+        assert findings[0].path == "tools/ipc_protocol.toml"
+        assert "no such" in findings[0].message
+
+    def test_inert_without_spec_file(self, tmp_path):
+        root = write_project(
+            tmp_path, {"src/repro/streams/link.py": IPC_CLEAN_MODULE}
+        )
+        result = run_analysis(root, checks=["ipc-protocol"])
+        assert findings_of(result, "ipc-protocol") == []
+
+    def test_payload_tags_stay_out_of_the_protocol_surface(self, tmp_path):
+        # "run" is an application-level tag inside a ("req", payload)
+        # frame: host.send(payload) is not a connection send, and the
+        # worker compares against payload content, not a recv result.
+        extended = IPC_CLEAN_MODULE + (
+            "\n"
+            "def submit(host, records):\n"
+            '    host.send(("run", records))\n'
+        )
+        root = self._project(tmp_path, extended)
+        result = run_analysis(root, checks=["ipc-protocol"])
+        assert new_findings_of(result, "ipc-protocol") == []
+
+    def test_real_worker_module_conforms_at_head(self):
+        result = run_analysis(REPO_ROOT, checks=["ipc-protocol"])
+        assert new_findings_of(result, "ipc-protocol") == []
+
+
+PICKLE_TOML = LAYERING_TOML + """
+[pickle_safety]
+boundary_roots = ["repro.streams.spec.WorkerSpec"]
+"""
+
+PICKLE_CLEAN_ROOT = """
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    shard: int
+    name: str = "w"
+"""
+
+
+class TestPickleSafetyChecker:
+    def _project(self, tmp_path, files):
+        return write_project(
+            tmp_path, {"tools/layering.toml": PICKLE_TOML, **files}
+        )
+
+    def test_plain_data_root_is_clean(self, tmp_path):
+        root = self._project(
+            tmp_path, {"src/repro/streams/spec.py": PICKLE_CLEAN_ROOT}
+        )
+        result = run_analysis(root, checks=["pickle-safety"])
+        assert new_findings_of(result, "pickle-safety") == []
+
+    def test_lock_typed_field_fires(self, tmp_path):
+        root = self._project(
+            tmp_path,
+            {
+                "src/repro/streams/spec.py": (
+                    "import threading\n"
+                    "from dataclasses import dataclass, field\n"
+                    "@dataclass\n"
+                    "class WorkerSpec:\n"
+                    "    shard: int\n"
+                    "    guard: threading.Lock = field(default_factory=threading.Lock)\n"
+                ),
+            },
+        )
+        findings = new_findings_of(
+            run_analysis(root, checks=["pickle-safety"]), "pickle-safety"
+        )
+        assert len(findings) == 1
+        assert "WorkerSpec.guard" in findings[0].message
+        assert "Lock" in findings[0].message
+
+    def test_lambda_field_default_fires(self, tmp_path):
+        root = self._project(
+            tmp_path,
+            {
+                "src/repro/streams/spec.py": (
+                    "from dataclasses import dataclass\n"
+                    "@dataclass\n"
+                    "class WorkerSpec:\n"
+                    "    shard: int\n"
+                    "    op: object = lambda v: v\n"
+                ),
+            },
+        )
+        findings = new_findings_of(
+            run_analysis(root, checks=["pickle-safety"]), "pickle-safety"
+        )
+        assert any("defaults to a lambda" in f.message for f in findings)
+
+    def test_reachability_follows_field_annotations(self, tmp_path):
+        root = self._project(
+            tmp_path,
+            {
+                "src/repro/streams/spec.py": (
+                    "from dataclasses import dataclass\n"
+                    "from io import TextIOWrapper\n"
+                    "@dataclass\n"
+                    "class Inner:\n"
+                    "    fh: TextIOWrapper\n"
+                    "@dataclass\n"
+                    "class WorkerSpec:\n"
+                    "    inner: Inner\n"
+                ),
+            },
+        )
+        findings = new_findings_of(
+            run_analysis(root, checks=["pickle-safety"]), "pickle-safety"
+        )
+        assert any("Inner.fh" in f.message for f in findings)
+
+    def test_process_target_lambda_fires(self, tmp_path):
+        root = self._project(
+            tmp_path,
+            {
+                "src/repro/streams/spec.py": PICKLE_CLEAN_ROOT,
+                "src/repro/streams/spawn.py": (
+                    "from multiprocessing import Process\n"
+                    "def boot():\n"
+                    "    p = Process(target=lambda: None, args=())\n"
+                    "    p.start()\n"
+                    "    p.join()\n"
+                ),
+            },
+        )
+        findings = new_findings_of(
+            run_analysis(root, checks=["pickle-safety"]), "pickle-safety"
+        )
+        assert any("target is a lambda" in f.message for f in findings)
+
+    def test_generator_in_send_payload_fires(self, tmp_path):
+        root = self._project(
+            tmp_path,
+            {
+                "src/repro/streams/spec.py": PICKLE_CLEAN_ROOT,
+                "src/repro/streams/ship.py": (
+                    "def ship(conn, xs):\n"
+                    "    conn.send((x for x in xs))\n"
+                ),
+            },
+        )
+        findings = new_findings_of(
+            run_analysis(root, checks=["pickle-safety"]), "pickle-safety"
+        )
+        assert any("generator expression" in f.message for f in findings)
+
+    def test_stale_boundary_root_is_an_error(self, tmp_path):
+        root = self._project(tmp_path, {"src/repro/streams/other.py": "x = 1\n"})
+        findings = new_findings_of(
+            run_analysis(root, checks=["pickle-safety"]), "pickle-safety"
+        )
+        assert len(findings) == 1
+        assert findings[0].path == "tools/layering.toml"
+        assert "stale root" in findings[0].message
+
+    def test_inert_without_declared_roots(self, tmp_path):
+        root = write_project(
+            tmp_path,
+            {
+                "src/repro/streams/spec.py": (
+                    "import threading\n"
+                    "class Unchecked:\n"
+                    "    guard: threading.Lock\n"
+                ),
+            },
+        )
+        result = run_analysis(root, checks=["pickle-safety"])
+        assert findings_of(result, "pickle-safety") == []
+
+    def test_declared_boundary_roots_are_clean_at_head(self):
+        result = run_analysis(REPO_ROOT, checks=["pickle-safety"])
+        assert new_findings_of(result, "pickle-safety") == []
+
+
+LIFECYCLE_TOML = LAYERING_TOML + """
+[resource_lifecycle]
+packages = ["streams"]
+"""
+
+
+class TestResourceLifecycleChecker:
+    def _run(self, tmp_path, module_text, relpath="src/repro/streams/io.py"):
+        root = write_project(
+            tmp_path, {"tools/layering.toml": LIFECYCLE_TOML, relpath: module_text}
+        )
+        return run_analysis(root, checks=["resource-lifecycle"])
+
+    def test_context_manager_release_and_join_are_clean(self, tmp_path):
+        result = self._run(
+            tmp_path,
+            "from multiprocessing import Process\n"
+            "def read(path):\n"
+            "    with open(path) as fh:\n"
+            "        return fh.read()\n"
+            "def spawn(fn):\n"
+            "    p = Process(target=fn)\n"
+            "    p.start()\n"
+            "    p.join()\n",
+        )
+        assert new_findings_of(result, "resource-lifecycle") == []
+
+    def test_unreleased_handle_fires(self, tmp_path):
+        result = self._run(
+            tmp_path,
+            "def leak(path):\n"
+            "    fh = open(path)\n"
+            "    data = fh.read()\n"
+            "    return data\n",
+        )
+        findings = new_findings_of(result, "resource-lifecycle")
+        assert len(findings) == 1
+        assert "leaks on every path" in findings[0].message
+
+    def test_returned_handle_transfers_ownership(self, tmp_path):
+        result = self._run(
+            tmp_path,
+            "def acquire(path):\n"
+            "    fh = open(path)\n"
+            "    return fh\n",
+        )
+        assert new_findings_of(result, "resource-lifecycle") == []
+
+    def test_daemon_process_without_join_fires(self, tmp_path):
+        result = self._run(
+            tmp_path,
+            "from multiprocessing import Process\n"
+            "def fire(fn):\n"
+            "    p = Process(target=fn, daemon=True)\n"
+            "    p.start()\n"
+            "    p.terminate()\n",
+        )
+        findings = new_findings_of(result, "resource-lifecycle")
+        assert any("never join()ed" in f.message for f in findings)
+
+    def test_self_stored_resource_needs_owner_release(self, tmp_path):
+        result = self._run(
+            tmp_path,
+            "from multiprocessing import Process\n"
+            "class Holder:\n"
+            "    def boot(self, fn):\n"
+            "        self._proc = Process(target=fn)\n"
+            "        self._proc.start()\n",
+        )
+        findings = new_findings_of(result, "resource-lifecycle")
+        assert any(
+            "has no close()/__exit__()/__del__()" in f.message for f in findings
+        )
+
+    def test_transitive_owner_release_is_clean(self, tmp_path):
+        # The WorkerHost shape: start() binds locally then transfers to
+        # self, close() delegates to a private method that releases.
+        result = self._run(
+            tmp_path,
+            "from multiprocessing import Process\n"
+            "class Host:\n"
+            "    def boot(self, fn):\n"
+            "        proc = Process(target=fn)\n"
+            "        proc.start()\n"
+            "        self._proc = proc\n"
+            "    def close(self):\n"
+            "        self._terminate()\n"
+            "    def _terminate(self):\n"
+            "        self._proc.terminate()\n"
+            "        self._proc.join()\n",
+        )
+        assert new_findings_of(result, "resource-lifecycle") == []
+
+    def test_recv_without_poll_guard_fires(self, tmp_path):
+        result = self._run(
+            tmp_path,
+            "def wait(conn):\n"
+            "    return conn.recv()\n",
+        )
+        findings = new_findings_of(result, "resource-lifecycle")
+        assert len(findings) == 1
+        assert "poll(timeout) guard" in findings[0].message
+
+    def test_polled_recv_is_clean(self, tmp_path):
+        result = self._run(
+            tmp_path,
+            "def wait(conn):\n"
+            "    if conn.poll(5.0):\n"
+            "        return conn.recv()\n"
+            "    return None\n",
+        )
+        assert new_findings_of(result, "resource-lifecycle") == []
+
+    def test_pragma_marks_deliberate_blocking_recv(self, tmp_path):
+        result = self._run(
+            tmp_path,
+            "def idle(conn):\n"
+            "    # reprolint: disable=resource-lifecycle — worker idle loop:\n"
+            "    # blocking between requests is the design.\n"
+            "    return conn.recv()\n",
+        )
+        assert new_findings_of(result, "resource-lifecycle") == []
+        assert any(r.suppressed for r in result.rows)
+
+    def test_undeclared_packages_are_out_of_scope(self, tmp_path):
+        result = self._run(
+            tmp_path,
+            "def leak(path):\n"
+            "    fh = open(path)\n"
+            "    data = fh.read()\n"
+            "    return data\n",
+            relpath="src/repro/obs/io.py",
+        )
+        assert findings_of(result, "resource-lifecycle") == []
+
+    def test_inert_without_declared_packages(self, tmp_path):
+        root = write_project(
+            tmp_path,
+            {"src/repro/streams/io.py": "def wait(conn):\n    return conn.recv()\n"},
+        )
+        result = run_analysis(root, checks=["resource-lifecycle"])
+        assert findings_of(result, "resource-lifecycle") == []
+
+    def test_declared_packages_are_clean_at_head(self):
+        result = run_analysis(REPO_ROOT, checks=["resource-lifecycle"])
+        assert new_findings_of(result, "resource-lifecycle") == []
 
 
 class TestBaselineAndReporting:
@@ -801,9 +1285,18 @@ class TestBaselineAndReporting:
         }
         assert finding["path"] == "src/repro/streams/bad.py"
 
-    def test_checker_registry_has_the_five_tentpole_checkers(self):
+    def test_checker_registry_has_the_eight_checkers(self):
         names = set(all_checkers())
-        assert {"layering", "determinism", "metric-contract", "dual-path", "hygiene"} <= names
+        assert {
+            "layering",
+            "determinism",
+            "metric-contract",
+            "dual-path",
+            "hygiene",
+            "ipc-protocol",
+            "pickle-safety",
+            "resource-lifecycle",
+        } <= names
 
 
 class TestCliContract:
@@ -837,10 +1330,29 @@ class TestCliContract:
         assert doc["exit_code"] == 0
         assert doc["summary"]["new"] == 0
 
+    def test_json_output_alongside_text(self, tmp_path):
+        # The CI shape: one run, text report to stdout AND the JSON artifact.
+        out = tmp_path / "report.json"
+        proc = self._run("--verbose", "--json-output", str(out))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "reprolint: OK" in proc.stdout
+        doc = json.loads(out.read_text())
+        assert doc["tool"] == "reprolint"
+        assert doc["exit_code"] == 0
+
     def test_list_checks(self):
         proc = self._run("--list-checks")
         assert proc.returncode == 0
-        for name in ("layering", "determinism", "metric-contract", "dual-path", "hygiene"):
+        for name in (
+            "layering",
+            "determinism",
+            "metric-contract",
+            "dual-path",
+            "hygiene",
+            "ipc-protocol",
+            "pickle-safety",
+            "resource-lifecycle",
+        ):
             assert name in proc.stdout
 
     def test_unknown_checker_is_config_error(self):

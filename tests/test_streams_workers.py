@@ -8,12 +8,21 @@ streams, the same watermarks, and fold the same obs counters as the
 oracle, across repeated incremental runs.
 """
 
+import math
+import pickle
 import time
 from dataclasses import dataclass
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.obs import ShardedObsPlane
+from repro.obs.harvest import HistogramSnapshot, MetricsSnapshot, ObsHarvest, ShardObsWorker
+from repro.streams.workers import (
+    DEFAULT_REQUEST_TIMEOUT_S,
+    _PipelineWorkerSpec,
+)
 from repro.streams import (
     Map,
     Pipeline,
@@ -72,6 +81,24 @@ class EchoSpec:
         if request == "boom":
             raise ValueError("requested failure")
         return (shard, request)
+
+
+@dataclass(frozen=True)
+class SleeperSpec:
+    """WorkerSpec whose handle can be told to hang (hung-worker injection)."""
+
+    def setup(self, shard):
+        return None
+
+    def handle(self, shard, state, request):
+        if request == "hang":
+            time.sleep(30.0)
+        return request
+
+
+def hanging_pipeline() -> Pipeline:
+    """A replica that wedges (alive, never replying) on its first record."""
+    return Pipeline([Map(lambda v: time.sleep(30.0) or v)], name="hang")
 
 
 class TestWorkerHost:
@@ -299,3 +326,166 @@ class TestSetupExcludedFromWalls:
         # the walls, both shards would report >= 50ms and the gauges
         # would be indistinguishable from real compute.
         assert plane.registry.gauge("shard.0.setup_s").value() >= 0.05
+
+
+class TestRequestTimeout:
+    """Satellite regression: the unbounded `_recv` liveness hole.
+
+    `Connection.recv` only raises for *dead* peers, so before the
+    `request_timeout_s` deadline existed, a hung-but-alive worker wedged
+    the parent forever — the exact defect the resource-lifecycle
+    checker's recv-without-poll rule detects statically.
+    """
+
+    def test_hung_worker_surfaces_as_shard_worker_died(self):
+        host = WorkerHost(SleeperSpec(), shard=3, request_timeout_s=0.3)
+        try:
+            assert host.request("ping") == "ping"
+            host.send("hang")
+            with pytest.raises(ShardWorkerDied) as err:
+                host.receive()
+            assert err.value.shard == 3
+            assert "hung" in str(err.value)
+            # The lockstep is desynchronised after a timeout (a late reply
+            # could pair with the wrong request), so the host reaps the
+            # worker rather than leaving it half-alive.
+            assert not host.alive()
+        finally:
+            host.close()
+
+    def test_slow_but_live_worker_is_not_killed(self):
+        host = WorkerHost(EchoSpec(), shard=0, request_timeout_s=30.0)
+        try:
+            assert host.request("fine") == (0, "fine")
+            assert host.alive()
+        finally:
+            host.close()
+
+    def test_none_restores_unbounded_behavior(self):
+        host = WorkerHost(EchoSpec(), shard=0, request_timeout_s=None)
+        try:
+            assert host.request_timeout_s is None
+            assert host.request("fine") == (0, "fine")
+        finally:
+            host.close()
+
+    def test_pool_default_is_generous_but_finite(self):
+        with ShardWorkerPool(window_pipeline, 1, watermark_factory=assigner) as pool:
+            assert all(
+                host.request_timeout_s == DEFAULT_REQUEST_TIMEOUT_S
+                for host in pool.hosts
+            )
+
+    def test_pool_recovers_from_hung_worker_via_restart(self):
+        with ShardWorkerPool(
+            hanging_pipeline, 1, request_timeout_s=0.4
+        ) as pool:
+            with pytest.raises(ShardWorkerDied) as err:
+                pool.run(keyed_records(4))
+            assert err.value.shard == 0
+            assert not pool.hosts[0].alive()
+            pool.restart_shard(0)
+            assert pool.hosts[0].alive()
+
+
+def _bit_equal_roundtrip(obj) -> bool:
+    """Pickle round-trip that must reproduce both the object and its bytes."""
+    blob = pickle.dumps(obj)
+    clone = pickle.loads(blob)
+    return clone == obj and pickle.dumps(clone) == blob
+
+
+_metric_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz._", min_size=1, max_size=24
+)
+_finite = st.floats(allow_nan=False, allow_infinity=False, width=32)
+
+
+@st.composite
+def _histogram_snapshots(draw):
+    reservoir = tuple(draw(st.lists(_finite, max_size=8)))
+    return HistogramSnapshot(
+        count=draw(st.integers(min_value=0, max_value=10**6)),
+        sum=draw(_finite),
+        min=draw(_finite),
+        max=draw(_finite),
+        reservoir=reservoir,
+    )
+
+
+@st.composite
+def _harvests(draw, shard=0):
+    metrics = MetricsSnapshot(
+        counters=draw(
+            st.dictionaries(_metric_names, st.integers(0, 10**9), max_size=6)
+        ),
+        gauges=draw(st.dictionaries(_metric_names, _finite, max_size=6)),
+        histograms=draw(
+            st.dictionaries(_metric_names, _histogram_snapshots(), max_size=4)
+        ),
+    )
+    events = tuple(
+        {"seq": i, "wall_s": float(i)}
+        for i in range(draw(st.integers(0, 4)))
+    )
+    return ObsHarvest(
+        shard=shard,
+        metrics=metrics,
+        events=events,
+        wall_seconds=draw(st.floats(0.0, 1e6, allow_nan=False)),
+        setup_seconds=draw(st.floats(0.0, 1e3, allow_nan=False)),
+    )
+
+
+class TestPickleBoundaryRoundTrip:
+    """Runtime witness for the pickle-safety checker: everything the
+    checker declares (or observes) crossing the worker IPC boundary must
+    survive `pickle.dumps`/`loads` round-trips bit-equal."""
+
+    @given(batch_size=st.one_of(st.none(), st.integers(1, 4096)))
+    @settings(max_examples=25, deadline=None)
+    def test_pipeline_worker_spec_round_trips(self, batch_size):
+        spec = _PipelineWorkerSpec(
+            factory=window_pipeline,
+            watermark_factory=assigner,
+            obs_worker=ShardObsWorker(seed=3, instrument=False),
+            batch_size=batch_size,
+        )
+        assert _bit_equal_roundtrip(spec)
+
+    @given(
+        ts=st.lists(st.floats(0.0, 1e9, allow_nan=False), max_size=12),
+        batch=st.one_of(st.none(), st.integers(1, 1024)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_request_and_reply_frames_round_trip(self, ts, batch):
+        records = [
+            Record(t, float(i), key=f"vessel-{i % 3}") for i, t in enumerate(ts)
+        ]
+        reply_payload = {
+            "records": records,
+            "wall_s": 0.25,
+            "records_processed": len(records),
+            "watermark": -math.inf,
+            "harvest": None,
+        }
+        frames = [
+            ("req", ("run", records, batch)),
+            ("req", ("finish",)),
+            ("reset",),
+            ("close",),
+            ("ready", 0.015),
+            ("ok", reply_payload),
+            ("err", "ValueError('requested failure')"),
+            ("fatal", "RuntimeError('setup exploded')"),
+            ("closed",),
+        ]
+        for frame in frames:
+            assert _bit_equal_roundtrip(frame), frame[0]
+
+    @given(cur=_harvests(), prev=_harvests())
+    @settings(max_examples=50, deadline=None)
+    def test_obs_harvest_and_delta_round_trip(self, cur, prev):
+        assert _bit_equal_roundtrip(cur)
+        delta = cur.delta(prev)
+        assert _bit_equal_roundtrip(delta)

@@ -16,6 +16,8 @@ Usage::
     python tools/reprolint.py                      # text report
     python tools/reprolint.py --format json        # CI artifact to stdout
     python tools/reprolint.py --format json --output reprolint_report.json
+    python tools/reprolint.py --verbose --json-output report.json  # one run, both
+    python tools/reprolint.py --checks ipc-protocol,pickle-safety,resource-lifecycle
     python tools/reprolint.py --checks layering,hygiene
     python tools/reprolint.py --update-baseline    # grandfather current findings
     python tools/reprolint.py --list-checks
@@ -48,6 +50,11 @@ def main(argv: list[str] | None = None) -> int:
         "--output", type=Path, default=None,
         help="write the report to this file instead of stdout "
              "(a one-line summary still goes to stdout)",
+    )
+    parser.add_argument(
+        "--json-output", type=Path, default=None,
+        help="additionally write a JSON report to this file — one analysis "
+             "run produces both the human text report and the CI artifact",
     )
     parser.add_argument(
         "--checks", default="",
@@ -87,6 +94,9 @@ def main(argv: list[str] | None = None) -> int:
     except (ConfigError, KeyError, OSError) as exc:
         print(f"reprolint: error: {exc}", file=sys.stderr)
         return 2
+
+    if args.json_output is not None:
+        args.json_output.write_text(render_json(result), encoding="utf-8")
 
     report = render_json(result) if args.format == "json" else render_text(result, verbose=args.verbose)
     if args.output is not None:
